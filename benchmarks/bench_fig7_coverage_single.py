@@ -1,0 +1,16 @@
+"""Single-input branch coverage (paper: 40% -> 65% on average)."""
+
+from conftest import emit
+from repro.harness.experiments import run_fig7
+
+
+def test_fig7_coverage_single(benchmark):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    emit(result)
+    average = [row for row in result.rows if row[0] == 'AVERAGE'][0]
+    base = float(average[2].rstrip('%'))
+    expanded = float(average[3].rstrip('%'))
+    assert expanded - base >= 15.0, \
+        'PathExpander should add >= 15 coverage points on average'
+    for row in result.rows[:-1]:
+        assert float(row[3].rstrip('%')) >= float(row[2].rstrip('%'))

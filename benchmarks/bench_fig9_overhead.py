@@ -1,0 +1,16 @@
+"""Execution overhead (paper: below 9.9% with the CMP optimisation)."""
+
+from conftest import emit
+from repro.harness.experiments import run_fig9
+
+
+def test_fig9_overhead(benchmark):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    emit(result)
+    worst = [row for row in result.rows if row[0] == 'WORST CMP'][0]
+    assert float(worst[3].rstrip('%')) < 9.9, \
+        'CMP overhead must stay below the paper bound of 9.9%'
+    for row in result.rows[:-1]:
+        standard = float(row[2].rstrip('%'))
+        cmp_ = float(row[3].rstrip('%'))
+        assert cmp_ <= standard

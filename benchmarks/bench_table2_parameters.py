@@ -1,0 +1,14 @@
+"""Table 2: simulated machine and PathExpander parameters."""
+
+from conftest import emit
+from repro.harness.experiments import run_table2
+
+
+def test_table2_parameters(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    emit(result)
+    values = dict(result.rows)
+    assert values['spawn overhead'] == '20 cycles'
+    assert values['squash overhead'] == '10 cycles'
+    assert values['NTPathCounterThreshold'] == '5'
+    assert values['MaxNumNTPaths'] == '32'

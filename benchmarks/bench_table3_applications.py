@@ -1,0 +1,12 @@
+"""Table 3: applications and tested bugs (38 in total)."""
+
+from conftest import emit
+from repro.harness.experiments import run_table3
+
+
+def test_table3_applications(benchmark):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    emit(result)
+    total = [row for row in result.rows if row[0] == 'TOTAL'][0]
+    assert total[2] == 38, 'paper tests 38 bugs'
+    assert len(result.rows) == 8          # seven apps + total

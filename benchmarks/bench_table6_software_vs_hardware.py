@@ -1,0 +1,13 @@
+"""Hardware vs software PathExpander (paper: 3-4 orders of magnitude)."""
+
+from conftest import emit
+from repro.harness.experiments import run_table6
+
+
+def test_table6_software_vs_hardware(benchmark):
+    result = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    emit(result)
+    geomean = [row for row in result.rows if row[0] == 'GEOMEAN'][0]
+    orders = float(geomean[4])
+    assert 2.0 <= orders <= 5.0, \
+        'hardware should be orders of magnitude cheaper (paper: 3-4)'

@@ -1,0 +1,16 @@
+"""Benchmark harness helpers.
+
+Each ``bench_*`` module regenerates one table or figure of the paper:
+it prints the measured rows (the same rows/series the paper reports)
+and times a representative kernel with pytest-benchmark.  Heavy
+experiments run exactly once via ``benchmark.pedantic``.
+"""
+
+from __future__ import annotations
+
+
+def emit(result):
+    """Print an ExperimentResult table under the benchmark output."""
+    print()
+    print(result.format())
+    return result

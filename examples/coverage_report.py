@@ -1,0 +1,61 @@
+"""Coverage deep-dive: what PathExpander adds to a single test run.
+
+Runs every benchmark application with its everyday input and prints a
+per-application coverage report -- which fraction of branch edges the
+input exercised, what the NT-paths added, and where NT-paths were
+terminated.  This is the Figure-7-style view a test engineer would use
+to decide whether a test suite needs more inputs.
+
+Run:  python examples/coverage_report.py
+"""
+
+from repro.apps.registry import WORKLOAD_APP_NAMES, get_app
+from repro.core.config import Mode
+from repro.core.runner import run_program
+
+
+def bar(fraction, width=32):
+    filled = int(round(fraction * width))
+    return '[' + '#' * filled + '.' * (width - filled) + ']'
+
+
+def main():
+    print('%-14s %-38s %-38s %s' % ('application', 'baseline',
+                                    'with PathExpander', 'NT-paths'))
+    total_base = 0.0
+    total_expanded = 0.0
+    termination_totals = {}
+    for name in WORKLOAD_APP_NAMES:
+        app = get_app(name)
+        program = app.compile(0)
+        text, ints = app.default_input()
+        result = run_program(program, detector=None,
+                             config=app.make_config(mode=Mode.STANDARD),
+                             text_input=text, int_input=ints)
+        total_base += result.baseline_coverage
+        total_expanded += result.total_coverage
+        for reason, count in result.nt_terminations.items():
+            termination_totals[reason] = \
+                termination_totals.get(reason, 0) + count
+        print('%-14s %s %4.0f%%  %s %4.0f%%  %5d'
+              % (name, bar(result.baseline_coverage),
+                 100 * result.baseline_coverage,
+                 bar(result.total_coverage),
+                 100 * result.total_coverage, result.nt_spawned))
+    count = len(WORKLOAD_APP_NAMES)
+    print('%-14s %s %4.0f%%  %s %4.0f%%'
+          % ('AVERAGE', bar(total_base / count), 100 * total_base / count,
+             bar(total_expanded / count), 100 * total_expanded / count))
+
+    print('\nNT-path terminations across all runs:')
+    total = sum(termination_totals.values()) or 1
+    for reason, count in sorted(termination_totals.items(),
+                                key=lambda item: -item[1]):
+        print('  %-12s %6d  (%.1f%%)' % (reason, count,
+                                         100 * count / total))
+    print('\n(paper: single-run branch coverage rises from 40% to 65% '
+          'on average)')
+
+
+if __name__ == '__main__':
+    main()

@@ -1,0 +1,75 @@
+"""Debugging walkthrough: why was my bug (not) found?
+
+A test engineer's session with the library's introspection tools: run a
+buggy application under PathExpander with tracing on, inspect which
+NT-paths ran and why they stopped, disassemble the branch that guards
+the bug, and use the configuration knobs to understand a miss.
+
+The subject is bc's *undetected* bug (the paper's second miss
+mechanism): the spill-flush branch saturates its exercise counter
+before the bug-triggering state arises.  The trace shows the early
+explorations; raising the counter threshold (or enabling the random
+selection factor) surfaces the bug.
+
+Run:  python examples/debugging_walkthrough.py
+"""
+
+from repro.apps.bugs import classify_reports
+from repro.apps.registry import get_app
+from repro.core.runner import make_detector
+from repro.harness.trace import TracedRun
+from repro.isa.disasm import function_listing
+
+
+def main():
+    app = get_app('bc_calc')
+    program = app.compile(0)
+    text, ints = app.default_input()
+    bugs = app.bugs(0)
+
+    print('=== 1. traced PathExpander run (paper defaults) ===')
+    traced = TracedRun(program, detector=make_detector('ccured'),
+                       config=app.make_config(collect_nt_details=True),
+                       text_input=text, int_input=ints)
+    result = traced.run()
+    print(traced.format(limit=12))
+
+    detected, _ = classify_reports(result.reports, bugs)
+    print('\ndetected bugs:', sorted(detected))
+    missed = [bug for bug in bugs if bug.bug_id not in detected]
+    for bug in missed:
+        print('missed: %s (%s)\n  %s'
+              % (bug.bug_id, bug.miss_reason, bug.description))
+
+    print('\n=== 2. the code guarding the missed bug ===')
+    print(function_listing(program, 'note_op'))
+
+    print('\n=== 3. how often was the flush edge explored? ===')
+    flush_spawns = [record for record in result.nt_details
+                    if 'note_op' in program.location(record.branch_addr)]
+    print('%d NT-paths entered note_op, all early in the run '
+          '(spawn instret: %s...)'
+          % (len(flush_spawns),
+             [record.spawn_instret for record in flush_spawns[:5]]))
+    print('by the time the window base rises, the edge counter has '
+          'saturated.')
+
+    print('\n=== 4. relaxing the blocking mechanism ===')
+    for label, overrides in (
+            ('counter threshold 1000', {'nt_counter_threshold': 1000}),
+            ('random selection, rate 0.3',
+             {'selection_random_rate': 0.3})):
+        traced = TracedRun(program, detector=make_detector('ccured'),
+                           config=app.make_config(**overrides),
+                           text_input=text, int_input=ints)
+        result = traced.run()
+        detected, _ = classify_reports(result.reports, bugs)
+        print('%-28s -> detected %s' % (label, sorted(detected)))
+
+    print('\nThe miss is mechanistic, exactly as the paper describes '
+          'for the bc bug:\nthe entry edge was "intensively exercised '
+          'before the bug triggered".')
+
+
+if __name__ == '__main__':
+    main()

@@ -1,0 +1,32 @@
+"""PathExpander reproduction (MICRO 2006).
+
+PathExpander increases the path coverage of dynamic bug detection by
+transparently executing non-taken paths (NT-paths) in a sandbox, so
+bugs on paths the input never exercises are still observed by the
+detector.  This package reproduces the paper's full system on a
+Python-simulated machine: a MiniC compiler with the Section 4.4
+variable-fixing pass, a cost-modelled CPU with BTB exercise counters
+and a versioned L1, the standard / CMP / software PathExpander
+implementations, three dynamic detectors, the benchmark applications
+with their seeded bugs, and the evaluation harness.
+
+Quickstart::
+
+    from repro import compile_minic, run_with_and_without
+
+    program = compile_minic(source, name='demo')
+    base, expanded = run_with_and_without(program, 'assertions')
+    print(base.reports, expanded.reports)
+"""
+
+from repro.core.config import Mode, PathExpanderConfig
+from repro.core.result import NTPathTermination, RunResult
+from repro.core.runner import (make_detector, run_program, run_source,
+                               run_with_and_without)
+from repro.minic.codegen import compile_minic
+
+__version__ = '1.0.0'
+
+__all__ = ['Mode', 'PathExpanderConfig', 'RunResult', 'NTPathTermination',
+           'run_program', 'run_source', 'run_with_and_without',
+           'make_detector', 'compile_minic', '__version__']

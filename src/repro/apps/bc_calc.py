@@ -1,0 +1,347 @@
+"""bc_calc: an arbitrary-expression calculator (bc-1.06 analogue).
+
+A recursive-descent calculator over statements separated by ``;``:
+assignments (``a = 3 + 4 * 2``) and expressions (printed), with
+single-letter variables, parentheses and unary minus.
+
+Two seeded memory bugs, checked with CCured/iWatcher, reproducing the
+paper's bc-1.06 row (1 of 2 detected):
+
+* ``bc_grow`` (detected): the variable-table growth path -- never taken
+  with everyday inputs -- copies one element too many out of the old
+  table (the shape of the real bc-1.06 ``more_arrays`` bug).
+  PathExpander forces the growth path and the checker flags the read
+  past the table.
+* ``bc_flush`` (missed, exercised edge): the operator-cache flush
+  branch is taken benignly many times early in the run (small window
+  base), saturating both edges' exercise counters; only after a late
+  statement raises the window base would the flush write out of
+  bounds, and by then PathExpander no longer explores the edge.
+"""
+
+from __future__ import annotations
+
+from repro.apps.bugs import BugSpec, MissReason
+
+NAME = 'bc_calc'
+TOOLS = ('ccured', 'iwatcher')
+IS_SIEMENS = False
+
+_BASE_SOURCE = r'''
+/* bc_calc -- statement calculator */
+
+int input_buf[800];
+int input_len = 0;
+int pos = 0;            /* cursor into input_buf */
+
+int var_names[8];
+int var_vals[8];
+int var_count = 0;
+
+int aux[8];             /* operator-cache spill window */
+int mark = 0;           /* spill window base; raised by 'z' statements */
+int acc = 0;            /* operators since last flush */
+
+int stmt_count = 0;
+int error_flag = 0;
+
+int err_pos = -2;       /* sentinel: no pending error position */
+int err_log[6];
+int depth_mark = 9;     /* sentinel: past the depth log */
+int depth_log[8];
+int last_tok = -1;      /* sentinel: no remembered token */
+int tok_ring[8];
+
+void read_input() {
+  int c = getc();
+  while (c != -1 && input_len < 798) {
+    input_buf[input_len] = c;
+    input_len = input_len + 1;
+    c = getc();
+  }
+  input_buf[input_len] = 0;
+}
+
+void skip_spaces() {
+  while (input_buf[pos] == ' ' || input_buf[pos] == '\t'
+         || input_buf[pos] == '\n') {
+    pos = pos + 1;
+  }
+}
+
+/* The paper's bc bug #2 shape: called on every operator. */
+void note_op() {
+  acc = acc + 1;
+  if (acc >= 3) {
+    /*FLUSH*/
+    aux[mark] = acc;
+    /*ENDFLUSH*/
+    acc = 0;
+  }
+}
+
+int lookup_var(int name) {
+  for (int i = 0; i < var_count; i = i + 1) {
+    if (var_names[i] == name) { return var_vals[i]; }
+  }
+  return 0;
+}
+
+/* Grow path for the variable table (bc bug #1 shape). */
+void grow_vars() {
+  int *wider = malloc(var_count + 4);
+  /*GROW*/
+  for (int i = 0; i < var_count; i = i + 1) {
+    wider[i] = var_vals[i];
+  }
+  /*ENDGROW*/
+  free(wider);
+}
+
+void set_var(int name, int value) {
+  for (int i = 0; i < var_count; i = i + 1) {
+    if (var_names[i] == name) {
+      var_vals[i] = value;
+      return;
+    }
+  }
+  if (var_count >= 8) {
+    grow_vars();
+    return;
+  }
+  var_names[var_count] = name;
+  var_vals[var_count] = value;
+  var_count = var_count + 1;
+}
+
+int parse_factor() {
+  skip_spaces();
+  int c = input_buf[pos];
+  if (c == '(') {
+    pos = pos + 1;
+    int v = parse_expr();
+    skip_spaces();
+    if (input_buf[pos] == ')') { pos = pos + 1; }
+    else { error_flag = 1; }
+    return v;
+  }
+  if (c == '-') {
+    pos = pos + 1;
+    note_op();
+    return 0 - parse_factor();
+  }
+  if (c >= '0' && c <= '9') {
+    int v = 0;
+    while (input_buf[pos] >= '0' && input_buf[pos] <= '9') {
+      v = v * 10 + (input_buf[pos] - '0');
+      pos = pos + 1;
+    }
+    return v;
+  }
+  if (c >= 'a' && c <= 'z') {
+    pos = pos + 1;
+    return lookup_var(c);
+  }
+  error_flag = 1;
+  pos = pos + 1;
+  return 0;
+}
+
+int parse_term() {
+  int v = parse_factor();
+  skip_spaces();
+  while (input_buf[pos] == '*' || input_buf[pos] == '/'
+         || input_buf[pos] == '%') {
+    int op = input_buf[pos];
+    pos = pos + 1;
+    note_op();
+    int rhs = parse_factor();
+    if (op == '*') { v = v * rhs; }
+    else if (rhs == 0) { error_flag = 1; }
+    else if (op == '/') { v = v / rhs; }
+    else { v = v % rhs; }
+    skip_spaces();
+  }
+  return v;
+}
+
+int parse_expr() {
+  int v = parse_term();
+  skip_spaces();
+  while (input_buf[pos] == '+' || input_buf[pos] == '-') {
+    int op = input_buf[pos];
+    pos = pos + 1;
+    note_op();
+    int rhs = parse_term();
+    if (op == '+') { v = v + rhs; }
+    else { v = v - rhs; }
+    skip_spaces();
+  }
+  return v;
+}
+
+/* bookkeeping armed by error recovery / tracing modes (off in
+   everyday sessions) */
+void stmt_prologue() {
+  if (err_pos >= 0) {
+    err_log[err_pos] = pos;
+    err_pos = -2;
+  }
+  if (depth_mark < 8) {
+    depth_log[depth_mark] = acc;
+  }
+  if (last_tok >= 0) {
+    tok_ring[last_tok] = pos;
+  }
+}
+
+/* one statement: 'name = expr' or 'expr'; returns 1 to continue */
+int do_statement() {
+  skip_spaces();
+  if (input_buf[pos] == 0) { return 0; }
+  stmt_prologue();
+  stmt_count = stmt_count + 1;
+  acc = 0;                   /* the operator cache is per-statement */
+  int c = input_buf[pos];
+  int look = pos + 1;
+  while (input_buf[look] == ' ') { look = look + 1; }
+  if (c >= 'a' && c <= 'z' && input_buf[look] == '=') {
+    pos = look + 1;
+    int value = parse_expr();
+    if (c == 'z') {
+      /* window-control statement: raises the spill base; only small
+         window values are meaningful */
+      if (value > 0 && value < 8) {
+        mark = value;
+      }
+    } else {
+      set_var(c, value);
+    }
+  } else {
+    int value = parse_expr();
+    print_int(value);
+  }
+  skip_spaces();
+  if (input_buf[pos] == ';') { pos = pos + 1; return 1; }
+  if (input_buf[pos] == 0) { return 0; }
+  return 1;
+}
+
+int main() {
+  read_input();
+  while (do_statement()) { }
+  print_int(stmt_count);
+  print_int(error_flag);
+  return 0;
+}
+'''
+
+# bc ships with both bugs present (a buggy release, like bc-1.06);
+# version 0 is the shipped binary.
+_BUGGY_PATCHES = [
+    (
+        '''for (int i = 0; i < var_count; i = i + 1) {
+    wider[i] = var_vals[i];
+  }''',
+        '''for (int i = 0; i <= 8; i = i + 1) {
+    wider[i] = var_vals[i];
+  }''',
+    ),
+    (
+        'aux[mark] = acc;',
+        'aux[mark + 2] = acc;',
+    ),
+]
+
+BUGS = [
+    BugSpec('bc_grow', NAME, True, site_func='grow_vars',
+            description='variable-table growth copies one element too '
+                        'many (more_arrays shape)'),
+    BugSpec('bc_flush', NAME, False,
+            miss_reason=MissReason.EXERCISED_EDGE, site_func='note_op',
+            description='spill write lands out of bounds only after a '
+                        'late window-base raise; the flush edge '
+                        'saturated its counter long before'),
+]
+
+VERSIONS = {0: BUGS}
+
+
+def make_source(version=0):
+    """bc ships as a single buggy release; version 0 carries both bugs.
+    ``version=-1`` gives the corrected program (for testing)."""
+    source = _BASE_SOURCE
+    if version == -1:
+        return source
+    if version != 0:
+        raise ValueError('bc_calc has no version %r' % version)
+    for correct, buggy in _BUGGY_PATCHES:
+        if correct not in source:
+            raise AssertionError('patch anchor missing in bc_calc')
+        source = source.replace(correct, buggy)
+    return source
+
+
+def default_input():
+    """Everyday calculator session: a few variables, plenty of
+    operators early (pumping the flush edge), a window raise late, and
+    almost operator-free statements afterwards."""
+    text = ('a = 1 + 2 + 3 + 4;'
+            'b = a * 2 + a * 3 + 5;'
+            'c = a + b + a + b + 1;'
+            'd = c % 7 + b / 2 + a;'
+            'e = a * a + b - c + 9;'
+            'f = e / 3 + d * 2 + 1;'
+            'g = f % 5 + e + a + b;'
+            'a + b + c + d;'
+            'e + f + g + 2;'
+            'a = a + b * 2 + c / 3;'
+            'b = b + c + d + e + f;'
+            'c = (a + b) * 2 + d % 9 + 1;'
+            'd = a % 11 + b % 7 + c % 5;'
+            'e = a + b + c + d + e;'
+            'a + e; b + d; c + 7;'
+            'z = 6;'
+            'a + b; c + d; b + 1; 42;'
+            'a + 1; b + 2; c + 3; d + 4;'
+            'e + 5; f + 6; g + 7; a + 8;'
+            'b + 9; c + 10; d + 11; 99;')
+    return text, []
+
+
+# --------------------------------------------------------------------
+# production-rule random test generation (Section 6.3: "we have used a
+# production-rule based test case generation technique to generate a
+# large number of random test inputs")
+
+_RULES = {
+    'stmt': [['var', ' = ', 'expr'], ['expr']],
+    'expr': [['term'], ['term', ' + ', 'expr'], ['term', ' - ', 'expr']],
+    'term': [['factor'], ['factor', ' * ', 'term'],
+             ['factor', ' / ', 'term']],
+    'factor': [['num'], ['var'], ['( ', 'expr', ' )'], ['-', 'factor']],
+}
+
+
+def _gen(symbol, state, depth):
+    if symbol == 'num':
+        state[0] = (state[0] * 1103515245 + 12345) & 0x7FFFFFFF
+        return str(state[0] % 97 + 1)
+    if symbol == 'var':
+        state[0] = (state[0] * 1103515245 + 12345) & 0x7FFFFFFF
+        return chr(ord('a') + state[0] % 6)
+    if symbol not in _RULES:
+        return symbol
+    rules = _RULES[symbol]
+    state[0] = (state[0] * 1103515245 + 12345) & 0x7FFFFFFF
+    if depth > 4:
+        rule = rules[0]
+    else:
+        rule = rules[state[0] % len(rules)]
+    return ''.join(_gen(part, state, depth + 1) for part in rule)
+
+
+def random_input(seed):
+    state = [(seed * 2246822519 + 97) & 0x7FFFFFFF]
+    statements = [_gen('stmt', state, 0) for _ in range(6)]
+    return ';'.join(statements) + ';', []

@@ -1,0 +1,89 @@
+"""Seeded-bug specifications and report matching.
+
+Every buggy application version carries :class:`BugSpec` records that
+say how a detector report is recognised as *that* bug (assertion id for
+semantic bugs; report kind + function for memory bugs), whether the
+paper's experiment detects it with PathExpander, and -- for the missed
+ones -- which of the paper's four miss mechanisms (Section 7.1) it
+reproduces:
+
+1. ``value_coverage``  -- the path is explored but the bug needs a
+   specific data value that neither the input nor the fix produces;
+2. ``exercised_edge``  -- the entry edge was exercised past the
+   counter threshold before the bug-triggering state arose;
+3. ``inconsistency``   -- NT-path state inconsistency masks the bug;
+4. ``special_input``   -- the bug site is unreachable within
+   MaxNTPathLength from any explored edge for this input.
+"""
+
+from __future__ import annotations
+
+from repro.detectors.base import ReportKind
+
+
+class MissReason:
+    VALUE_COVERAGE = 'value_coverage'
+    EXERCISED_EDGE = 'exercised_edge'
+    INCONSISTENCY = 'inconsistency'
+    SPECIAL_INPUT = 'special_input'
+
+    ALL = (VALUE_COVERAGE, EXERCISED_EDGE, INCONSISTENCY, SPECIAL_INPUT)
+
+
+class BugSpec:
+    """One seeded bug and how to recognise its detection."""
+
+    def __init__(self, bug_id, app, expected_detected, miss_reason=None,
+                 assert_id=None, site_func=None,
+                 kinds=ReportKind.MEMORY_KINDS, description=''):
+        if not expected_detected and miss_reason not in MissReason.ALL:
+            raise ValueError('missed bug %s needs a miss_reason' % bug_id)
+        self.bug_id = bug_id
+        self.app = app
+        self.expected_detected = expected_detected
+        self.miss_reason = miss_reason
+        self.assert_id = assert_id
+        self.site_func = site_func
+        self.kinds = frozenset(kinds)
+        self.description = description
+
+    @property
+    def is_memory_bug(self):
+        return self.assert_id is None
+
+    def matches(self, report):
+        """Does a detector report correspond to this seeded bug?"""
+        if self.assert_id is not None:
+            return report.assert_id == self.assert_id
+        if report.kind not in self.kinds:
+            return False
+        if self.site_func is not None:
+            func = report.location.split('+')[0].split(':')[0]
+            return func == self.site_func
+        return True
+
+    def __repr__(self):
+        return '<BugSpec %s (%s)>' % (
+            self.bug_id,
+            'detected' if self.expected_detected
+            else 'missed:%s' % self.miss_reason)
+
+
+def classify_reports(reports, bugs):
+    """Split detector reports into true detections and false positives.
+
+    Returns ``(detected_bug_ids, false_positive_reports)``.  A report
+    is a false positive (in the Table 5 sense: *introduced by
+    PathExpander*, not by the checker) when it matches no seeded bug.
+    """
+    detected = set()
+    false_positives = []
+    for report in reports:
+        matched = False
+        for bug in bugs:
+            if bug.matches(report):
+                detected.add(bug.bug_id)
+                matched = True
+        if not matched:
+            false_positives.append(report)
+    return detected, false_positives

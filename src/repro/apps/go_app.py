@@ -1,0 +1,433 @@
+"""go_app: a 9x9 Go position evaluator (SPEC 099.go analogue).
+
+Reads a board position and runs repeated evaluation rounds: liberty
+counting, group flood fills, territory estimation and pattern scoring.
+Like the real 099.go it is almost pure computation -- I/O happens only
+when the final analysis is printed -- so NT-paths run long before any
+unsafe event (the Figure 3 go curve).
+
+Two seeded memory bugs, both **missed** (the paper's go row: only a
+special non-bug-triggering input could surface them):
+
+* ``go_capture``: the capture handler's buggy store sits behind a
+  full-board ownership rescan, more than MaxNTPathLength instructions
+  from the forced edge;
+* ``go_ko``: the ko-verification bug sits behind a history-table scan,
+  equally out of NT-path reach.
+
+The evaluator also carries sentinel-index guards (fixable: false
+positives only without variable fixing) and two data-dependent guards
+the fixer cannot help with (residual false positives), feeding the
+Table 5 numbers.
+"""
+
+from __future__ import annotations
+
+from repro.apps.bugs import BugSpec, MissReason
+
+NAME = 'go_app'
+TOOLS = ('ccured', 'iwatcher')
+IS_SIEMENS = False
+
+_BASE_SOURCE = r'''
+/* go_app -- 9x9 position evaluator */
+
+int board[81];          /* 0 empty, 1 black, 2 white */
+int libs[81];
+int owner[81];
+int visited[81];
+int flood_stack[81];
+
+int history[256];       /* move history ring */
+int hist_len = 0;
+
+int captured[16];
+int cap_count = 0;
+int ko_round = 0;       /* 0 = no ko pending */
+
+int last_move = -1;     /* sentinel: no previous move */
+int move_marks[81];
+int atari_spot = -2;    /* sentinel: no atari */
+int atari_flags[81];
+int joseki_line = 82;   /* sentinel: past the pattern table */
+int joseki_hits[81];
+int hot_col = -2;       /* sentinel: no hot column */
+int col_weight[9];
+int eye_probe = 82;     /* sentinel: past the board */
+int eye_map[81];
+int ladder_pos = -2;    /* sentinel: no ladder being read */
+int ladder_map[81];
+int sente_idx = 82;     /* sentinel: past the sente map */
+int sente_map[81];
+
+int target_of[81];      /* -1 = no linked target */
+int targets[81];
+int seki_code[81];
+
+int black_score = 0;
+int white_score = 0;
+int rounds = 0;
+int analysis_mask = 0;  /* bit 1: influence map; bit 2: patterns;
+                           bit 4: endgame counting */
+int influence[81];
+int pattern_score = 0;
+int endgame_points = 0;
+
+void read_board() {
+  int i = 0;
+  while (i < 81) {
+    int c = getc();
+    if (c == -1) { break; }
+    if (c == '0' || c == '1' || c == '2') {
+      board[i] = c - '0';
+      i = i + 1;
+    }
+  }
+  rounds = read_int();
+  if (rounds < 1) { rounds = 1; }
+  if (rounds > 200) { rounds = 200; }
+  ko_round = read_int();
+  if (ko_round < 0) { ko_round = 0; }
+  analysis_mask = read_int();
+  if (analysis_mask < 0) { analysis_mask = 0; }
+  for (int j = 0; j < 81; j = j + 1) { target_of[j] = 0 - 1; }
+}
+
+int count_liberties(int p) {
+  int n = 0;
+  int row = p / 9;
+  int col = p % 9;
+  if (row > 0 && board[p - 9] == 0) { n = n + 1; }
+  if (row < 8 && board[p + 9] == 0) { n = n + 1; }
+  if (col > 0 && board[p - 1] == 0) { n = n + 1; }
+  if (col < 8 && board[p + 1] == 0) { n = n + 1; }
+  return n;
+}
+
+/* flood-fills the group at p; returns its total liberty count */
+int group_liberties(int p) {
+  int color = board[p];
+  int total = 0;
+  int top = 0;
+  for (int i = 0; i < 81; i = i + 1) { visited[i] = 0; }
+  flood_stack[0] = p;
+  top = 1;
+  visited[p] = 1;
+  while (top > 0) {
+    top = top - 1;
+    int q = flood_stack[top];
+    total = total + count_liberties(q);
+    int row = q / 9;
+    int col = q % 9;
+    if (row > 0 && board[q - 9] == color && visited[q - 9] == 0) {
+      visited[q - 9] = 1;
+      flood_stack[top] = q - 9;
+      top = top + 1;
+    }
+    if (row < 8 && board[q + 9] == color && visited[q + 9] == 0) {
+      visited[q + 9] = 1;
+      flood_stack[top] = q + 9;
+      top = top + 1;
+    }
+    if (col > 0 && board[q - 1] == color && visited[q - 1] == 0) {
+      visited[q - 1] = 1;
+      flood_stack[top] = q - 1;
+      top = top + 1;
+    }
+    if (col < 8 && board[q + 1] == color && visited[q + 1] == 0) {
+      visited[q + 1] = 1;
+      flood_stack[top] = q + 1;
+      top = top + 1;
+    }
+  }
+  return total;
+}
+
+/* removes a captured group -- only reachable when a group really has
+   no liberties, which demands a very particular board */
+void capture_group(int p) {
+  /* full ownership rescan before the books are updated */
+  for (int i = 0; i < 81; i = i + 1) {
+    owner[i] = 0;
+    if (board[i] != 0) { owner[i] = board[i]; }
+  }
+  for (int i = 0; i < 81; i = i + 1) {
+    if (owner[i] != 0 && count_liberties(i) == 0) {
+      owner[i] = 3;
+    }
+  }
+  /*CAPBUG*/
+  captured[cap_count] = p;
+  /*ENDCAPBUG*/
+  cap_count = (cap_count + 1) % 12;
+}
+
+/* verifies a pending ko -- only reachable during a ko fight */
+void ko_check(int p) {
+  int repeats = 0;
+  for (int i = 0; i < 256; i = i + 1) {
+    if (history[i] == p) { repeats = repeats + 1; }
+  }
+  /*KOBUG*/
+  history[hist_len % 256] = p;
+  /*ENDKOBUG*/
+  hist_len = hist_len + 1;
+}
+
+/* bookkeeping applied before each point evaluation; all of these
+   are no-ops unless the corresponding analysis state is armed */
+void apply_marks(int p) {
+  if (last_move >= 0) {
+    move_marks[last_move] = p;
+  }
+  if (atari_spot >= 0) {
+    atari_flags[atari_spot] = 1;
+  }
+  if (joseki_line < 81) {
+    joseki_hits[joseki_line] = p;
+  }
+  if (hot_col >= 0) {
+    col_weight[hot_col] = p;
+  }
+  if (eye_probe < 81) {
+    eye_map[eye_probe] = 1;
+  }
+  if (ladder_pos >= 0) {
+    ladder_map[ladder_pos] = p;
+  }
+  if (sente_idx < 81) {
+    sente_map[sente_idx] = p;
+  }
+  /* data-linked guards: the fixer cannot repair the linked index */
+  if (seki_code[p] == 9) {
+    targets[target_of[p]] = 1;
+  }
+  if (board[p] == 3) {
+    targets[target_of[p]] = 2;
+  }
+}
+
+/* radiating influence: each stone projects strength to neighbours */
+void influence_map() {
+  for (int i = 0; i < 81; i = i + 1) { influence[i] = 0; }
+  for (int p = 0; p < 81; p = p + 1) {
+    if (board[p] == 0) { continue; }
+    int sign = 1;
+    if (board[p] == 2) { sign = 0 - 1; }
+    int row = p / 9;
+    int col = p % 9;
+    for (int dr = 0 - 2; dr <= 2; dr = dr + 1) {
+      for (int dc = 0 - 2; dc <= 2; dc = dc + 1) {
+        int nr = row + dr;
+        int nc = col + dc;
+        if (nr < 0 || nr > 8 || nc < 0 || nc > 8) { continue; }
+        int dist = dr;
+        if (dist < 0) { dist = 0 - dist; }
+        int adc = dc;
+        if (adc < 0) { adc = 0 - adc; }
+        dist = dist + adc;
+        if (dist == 0) { influence[nr * 9 + nc] =
+                           influence[nr * 9 + nc] + sign * 8; }
+        else if (dist == 1) { influence[nr * 9 + nc] =
+                                influence[nr * 9 + nc] + sign * 3; }
+        else { influence[nr * 9 + nc] =
+                 influence[nr * 9 + nc] + sign; }
+      }
+    }
+  }
+}
+
+/* small shape library: hane, tiger mouth, empty triangle */
+void match_patterns() {
+  pattern_score = 0;
+  for (int p = 0; p < 81; p = p + 1) {
+    int row = p / 9;
+    int col = p % 9;
+    if (row > 7 || col > 7) { continue; }
+    int a = board[p];
+    int b = board[p + 1];
+    int c = board[p + 9];
+    int d = board[p + 10];
+    if (a != 0 && a == d && b == 0 && c == 0) {
+      pattern_score = pattern_score + 2;      /* diagonal */
+    }
+    if (a != 0 && a == b && a == c && d == 0) {
+      pattern_score = pattern_score - 1;      /* empty triangle */
+    }
+    if (a != 0 && b == a && c != a && c != 0) {
+      pattern_score = pattern_score + 1;      /* contact fight */
+    }
+  }
+}
+
+/* counts settled empty points for the endgame */
+void count_endgame() {
+  endgame_points = 0;
+  for (int p = 0; p < 81; p = p + 1) {
+    if (board[p] != 0) { continue; }
+    int row = p / 9;
+    int col = p % 9;
+    int owner_color = 0;
+    int mixed = 0;
+    if (row > 0 && board[p - 9] != 0) {
+      owner_color = board[p - 9];
+    }
+    if (row < 8 && board[p + 9] != 0) {
+      if (owner_color != 0 && board[p + 9] != owner_color) {
+        mixed = 1;
+      }
+      owner_color = board[p + 9];
+    }
+    if (col > 0 && board[p - 1] != 0) {
+      if (owner_color != 0 && board[p - 1] != owner_color) {
+        mixed = 1;
+      }
+      owner_color = board[p - 1];
+    }
+    if (col < 8 && board[p + 1] != 0) {
+      if (owner_color != 0 && board[p + 1] != owner_color) {
+        mixed = 1;
+      }
+      owner_color = board[p + 1];
+    }
+    if (owner_color != 0 && mixed == 0) {
+      endgame_points = endgame_points + 1;
+    }
+  }
+}
+
+void evaluate_point(int p) {
+  apply_marks(p);
+  if (board[p] == 0) {
+    int row = p / 9;
+    int near_black = 0;
+    int near_white = 0;
+    if (row > 0 && board[p - 9] == 1) { near_black = near_black + 1; }
+    if (row > 0 && board[p - 9] == 2) { near_white = near_white + 1; }
+    if (row < 8 && board[p + 9] == 1) { near_black = near_black + 1; }
+    if (row < 8 && board[p + 9] == 2) { near_white = near_white + 1; }
+    if (near_black > near_white) { black_score = black_score + 1; }
+    if (near_white > near_black) { white_score = white_score + 1; }
+    return;
+  }
+  int total = group_liberties(p);
+  libs[p] = total;
+  if (total == 0) {
+    capture_group(p);
+  }
+  if (ko_round > 0) {
+    ko_check(p);
+  }
+  if (board[p] == 1) { black_score = black_score + total; }
+  else { white_score = white_score + total; }
+}
+
+int main() {
+  read_board();
+  for (int r = 0; r < rounds; r = r + 1) {
+    for (int p = 0; p < 81; p = p + 1) {
+      evaluate_point(p);
+    }
+    if ((analysis_mask & 1) != 0) { influence_map(); }
+    if ((analysis_mask & 2) != 0) { match_patterns(); }
+    if ((analysis_mask & 4) != 0) { count_endgame(); }
+  }
+  print_int(black_score);
+  print_int(white_score);
+  print_int(cap_count);
+  print_int(pattern_score + endgame_points);
+  return 0;
+}
+'''
+
+_BUGGY_PATCHES = [
+    (
+        'captured[cap_count] = p;',
+        'captured[cap_count + 6] = p;',
+    ),
+    (
+        'history[hist_len % 256] = p;',
+        'history[hist_len % 256 + 2] = p;',
+    ),
+]
+
+BUGS = [
+    BugSpec('go_capture', NAME, False,
+            miss_reason=MissReason.SPECIAL_INPUT, site_func='capture_group',
+            description='capture bookkeeping writes past captured[]; '
+                        'the store sits behind a full-board rescan, '
+                        'beyond MaxNTPathLength from the forced edge'),
+    BugSpec('go_ko', NAME, False,
+            miss_reason=MissReason.SPECIAL_INPUT, site_func='ko_check',
+            description='ko history write lands out of the ring; '
+                        'behind a 256-entry history scan, beyond '
+                        'MaxNTPathLength'),
+]
+
+VERSIONS = {0: BUGS}
+
+
+def make_source(version=0):
+    source = _BASE_SOURCE
+    if version == -1:
+        return source
+    if version != 0:
+        raise ValueError('go_app has no version %r' % version)
+    for correct, buggy in _BUGGY_PATCHES:
+        if correct not in source:
+            raise AssertionError('patch anchor missing in go_app')
+        source = source.replace(correct, buggy)
+    return source
+
+
+def _group_has_liberty(cells, start):
+    color = cells[start]
+    seen = {start}
+    stack = [start]
+    while stack:
+        p = stack.pop()
+        row, col = divmod(p, 9)
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            nr, nc = row + dr, col + dc
+            if not (0 <= nr < 9 and 0 <= nc < 9):
+                continue
+            q = nr * 9 + nc
+            if cells[q] == '0':
+                return True
+            if cells[q] == color and q not in seen:
+                seen.add(q)
+                stack.append(q)
+    return False
+
+
+def _board_text(seed):
+    state = (seed * 2654435761 + 17) & 0x7FFFFFFF
+    cells = []
+    for _ in range(81):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        roll = state % 10
+        if roll < 4:
+            cells.append('0')
+        elif roll < 7:
+            cells.append('1')
+        else:
+            cells.append('2')
+    # No group may be dead on entry (a capture would trigger the bug
+    # path on the taken path); open a liberty next to any dead group.
+    changed = True
+    while changed:
+        changed = False
+        for p in range(81):
+            if cells[p] != '0' and not _group_has_liberty(cells, p):
+                cells[p] = '0'
+                changed = True
+    return ''.join(cells)
+
+
+def default_input():
+    """A midgame position (every group keeps liberties; no ko)."""
+    return _board_text(3), [12, 0, 0]
+
+
+def random_input(seed):
+    return _board_text(seed), [6 + seed % 10, 0, 0]

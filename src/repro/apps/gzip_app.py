@@ -1,0 +1,312 @@
+"""gzip_app: an LZ77-style compressor (SPEC 164.gzip analogue).
+
+Reads the input into a window, then emits a literal or a
+(length, distance) back-reference for every position -- writing output
+as it goes, exactly the behaviour that makes the paper's Figure 3 gzip
+curve unsafe-event dominated: most NT-paths run into a ``putc`` within
+a few hundred instructions.
+
+No seeded bugs; gzip is used for the crash-latency, coverage and
+overhead experiments.
+"""
+
+from __future__ import annotations
+
+NAME = 'gzip_app'
+TOOLS = ()
+IS_SIEMENS = False
+VERSIONS = {}
+BUGS = []
+
+_SOURCE = r'''
+/* gzip_app -- LZ77-style compressor */
+
+struct hnode {
+  int pos;
+  struct hnode *next;
+};
+
+int window[2048];
+int window_len = 0;
+
+struct hnode *heads[64];     /* hash-chain buckets */
+int chain_nodes = 0;
+
+int lit_count = 0;
+int match_count = 0;
+int out_bytes = 0;
+int checksum = 0;
+
+int out_buf[16];        /* buffered output: syscalls only on flush */
+int out_fill = 0;
+
+int level = 1;          /* compression effort (1..3) */
+int use_rle = 0;        /* run-length preprocessor */
+int freq[64];           /* level-3 frequency table */
+int code_len[64];       /* level-3 code lengths */
+int rle_saved = 0;
+int lazy_hits = 0;
+
+int verify = 0;         /* decompress and compare (self-check mode) */
+int codes[4200];        /* captured output codes for verification */
+int code_count = 0;
+int decoded[2048];
+int decoded_len = 0;
+int verify_ok = -1;     /* -1 not run, 1 round-trip ok, 0 mismatch */
+
+void read_window() {
+  level = read_int();
+  if (level < 1) { level = 1; }
+  if (level > 3) { level = 3; }
+  use_rle = read_int();
+  if (use_rle != 1) { use_rle = 0; }
+  verify = read_int();
+  if (verify != 1) { verify = 0; }
+  int c = getc();
+  while (c != -1 && window_len < 2046) {
+    window[window_len] = c;
+    window_len = window_len + 1;
+    c = getc();
+  }
+}
+
+/* run-length preprocessor: collapses runs of 4+ equal codes */
+void rle_pass() {
+  int w = 0;
+  int r = 0;
+  while (r < window_len) {
+    int run = 1;
+    while (r + run < window_len && window[r + run] == window[r]
+           && run < 80) {
+      run = run + 1;
+    }
+    if (run >= 4) {
+      window[w] = 2;
+      window[w + 1] = window[r];
+      window[w + 2] = run;
+      w = w + 3;
+      rle_saved = rle_saved + run - 3;
+    } else {
+      for (int k = 0; k < run; k = k + 1) {
+        window[w] = window[r + k];
+        w = w + 1;
+      }
+    }
+    r = r + run;
+  }
+  window_len = w;
+}
+
+/* level-3: frequency statistics and a crude canonical code build */
+void build_codes() {
+  for (int i = 0; i < 64; i = i + 1) { freq[i] = 0; }
+  for (int i = 0; i < window_len; i = i + 1) {
+    freq[window[i] & 63] = freq[window[i] & 63] + 1;
+  }
+  for (int i = 0; i < 64; i = i + 1) {
+    if (freq[i] == 0) { code_len[i] = 0; }
+    else if (freq[i] > window_len / 8) { code_len[i] = 4; }
+    else if (freq[i] > window_len / 32) { code_len[i] = 6; }
+    else { code_len[i] = 9; }
+  }
+}
+
+void emit_header() {
+  put_code(31);
+  put_code(139);
+  put_code(level);
+  if (use_rle == 1) { put_code(2); }
+  else { put_code(0); }
+}
+
+void flush_output() {
+  for (int i = 0; i < out_fill; i = i + 1) {
+    putc(out_buf[i]);
+  }
+  out_fill = 0;
+}
+
+void put_code(int c) {
+  out_buf[out_fill] = c;
+  out_fill = out_fill + 1;
+  if (out_fill >= 16) {
+    flush_output();
+  }
+  if (code_count < 4199) {
+    codes[code_count] = c;
+    code_count = code_count + 1;
+  }
+  out_bytes = out_bytes + 1;
+  checksum = (checksum * 31 + c) % 65536;
+}
+
+int hash3(int pos) {
+  return (window[pos] * 3 + window[pos + 1] * 5
+          + window[pos + 2]) & 63;
+}
+
+/* records a position in its hash chain (as real gzip does) */
+void insert_pos(int pos) {
+  if (pos + 2 >= window_len) { return; }
+  struct hnode *node = malloc(sizeof(struct hnode));
+  int h = hash3(pos);
+  node->pos = pos;
+  node->next = heads[h];
+  heads[h] = node;
+  chain_nodes = chain_nodes + 1;
+}
+
+/* longest match for pos among the last few chain entries;
+   returns length * 256 + distance (0 if no useful match) */
+int find_match(int pos) {
+  if (pos + 2 >= window_len) { return 0; }
+  int best_len = 0;
+  int best_dist = 0;
+  int tries = 16;
+  struct hnode *cur = heads[hash3(pos)];
+  while (cur != 0 && tries > 0) {
+    int cand = cur->pos;
+    if (cand < pos && pos - cand <= 255) {
+      int len = 0;
+      while (len < 63
+             && pos + len < window_len
+             && window[cand + len] == window[pos + len]) {
+        len = len + 1;
+      }
+      if (len > best_len) {
+        best_len = len;
+        best_dist = pos - cand;
+      }
+    }
+    cur = cur->next;
+    tries = tries - 1;
+  }
+  if (best_len < 3) { return 0; }
+  return best_len * 256 + best_dist;
+}
+
+void compress() {
+  int pos = 0;
+  while (pos < window_len) {
+    int match = find_match(pos);
+    if (level >= 2 && match != 0) {
+      /* lazy matching: prefer the match starting one later if longer */
+      int next = find_match(pos + 1);
+      if (next / 256 > match / 256 + 1) {
+        match = 0;
+        lazy_hits = lazy_hits + 1;
+      }
+    }
+    if (match == 0) {
+      put_code(0);
+      put_code(window[pos]);
+      lit_count = lit_count + 1;
+      insert_pos(pos);
+      pos = pos + 1;
+    } else {
+      int len = match / 256;
+      int dist = match % 256;
+      put_code(1);
+      put_code(len);
+      put_code(dist);
+      match_count = match_count + 1;
+      for (int k = 0; k < len; k = k + 1) {
+        insert_pos(pos + k);
+      }
+      pos = pos + len;
+    }
+  }
+}
+
+/* inflates the captured code stream back into decoded[] */
+void decompress() {
+  int r = 0;
+  decoded_len = 0;
+  if (level >= 2) { r = 4; }          /* skip the header */
+  while (r < code_count && decoded_len < 2046) {
+    int kind = codes[r];
+    if (kind == 0) {
+      decoded[decoded_len] = codes[r + 1];
+      decoded_len = decoded_len + 1;
+      r = r + 2;
+    } else {
+      int len = codes[r + 1];
+      int dist = codes[r + 2];
+      for (int k = 0; k < len && decoded_len < 2046; k = k + 1) {
+        decoded[decoded_len] = decoded[decoded_len - dist];
+        decoded_len = decoded_len + 1;
+      }
+      r = r + 3;
+    }
+  }
+}
+
+/* round-trip check: inflate must reproduce the (post-RLE) window */
+void verify_round_trip() {
+  decompress();
+  verify_ok = 1;
+  if (decoded_len != window_len) {
+    verify_ok = 0;
+    return;
+  }
+  for (int i = 0; i < window_len; i = i + 1) {
+    if (decoded[i] != window[i]) {
+      verify_ok = 0;
+      return;
+    }
+  }
+}
+
+int main() {
+  read_window();
+  if (use_rle == 1) {
+    rle_pass();
+  }
+  if (level >= 3) {
+    build_codes();
+  }
+  if (level >= 2) {
+    emit_header();
+  }
+  compress();
+  flush_output();
+  if (verify == 1) {
+    verify_round_trip();
+  }
+  print_int(verify_ok);
+  print_int(lit_count);
+  print_int(match_count);
+  print_int(out_bytes);
+  print_int(checksum);
+  print_int(chain_nodes);
+  return 0;
+}
+'''
+
+
+def make_source(version=0):
+    if version not in (0, -1):
+        raise ValueError('gzip_app has no version %r' % version)
+    return _SOURCE
+
+
+def default_input():
+    """Compressible text: repeated phrases with some variation."""
+    phrases = ['the model of the machine ', 'a stream of tokens ',
+               'the window slides on ', 'bytes repeat and repeat ']
+    chunks = []
+    state = 12345
+    for _ in range(40):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        chunks.append(phrases[state % len(phrases)])
+    return ''.join(chunks), [1, 0, 1]
+
+
+def random_input(seed):
+    state = (seed * 2891336453 + 13) & 0x7FFFFFFF
+    chunks = []
+    words = ['abcabc', 'xyzxyz', 'hello ', 'data ', 'zip ', 'block ']
+    for _ in range(60):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        chunks.append(words[state % len(words)])
+    return ''.join(chunks), [1 + seed % 2, 0, 1]

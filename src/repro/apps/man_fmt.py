@@ -1,0 +1,290 @@
+"""man_fmt: a roff-style page formatter (man-1.5h1 analogue).
+
+Reads a document into memory and formats it line by line: word
+wrapping to the output width, plus a directive language (lines starting
+with ``.``) for section headers, indentation, bold spans and footnotes.
+Everyday documents contain no directives, so all directive machinery is
+PathExpander territory.
+
+One seeded memory bug (the paper's man-1.5h1 row of Tables 4 and 5):
+``man_section`` -- the section-header formatter copies one word too
+many into the fixed ``section[]`` buffer.  Its guard is a pointer null
+test, so **without** variable fixing every NT-path into it crashes on
+the null pointer (bug missed); **with** fixing the pointer is repointed
+at the compiler's blank structure and the off-by-one store is caught.
+This reproduces the Table 5 "detected only after consistency fixing"
+result.
+
+The formatter also carries several sentinel-index guards (``-1`` /
+past-the-end defaults, the classic C idiom).  NT-paths forced into
+them without fixing index out of bounds and raise *false positives*;
+the boundary-value fixes eliminate them -- the paper's 13 -> 4
+false-positive reduction mechanism.
+"""
+
+from __future__ import annotations
+
+from repro.apps.bugs import BugSpec
+
+NAME = 'man_fmt'
+TOOLS = ('ccured', 'iwatcher')
+IS_SIEMENS = False
+
+_BASE_SOURCE = r'''
+/* man_fmt -- page formatter */
+
+int input_buf[900];
+int input_len = 0;
+
+int line[96];           /* current input line */
+int line_len = 0;
+
+int out_col = 0;
+int out_width = 56;
+int out_lines = 0;
+
+int section[8];         /* current section header text */
+int *sec_name = 0;      /* pending section name (directive state) */
+
+int bold_start = -1;    /* sentinel: no bold span pending */
+int indent_stack[6];
+int indent_top = -1;    /* sentinel: empty stack */
+int note_slot = 7;      /* sentinel: one past notes[] capacity */
+int notes[6];
+int tab_pos = -2;       /* sentinel: no tab stop */
+int tabs[8];
+int hdr_level = 9;      /* sentinel: past the header counters */
+int hdr_counts[8];
+int margin_slot = -2;   /* sentinel: no margin override */
+int margins[6];
+
+int directive_count = 0;
+int word_count = 0;
+int center_next = 0;
+int fill_char = ' ';
+int list_depth = 0;
+int list_counters[4];
+
+void read_input() {
+  int c = getc();
+  while (c != -1 && input_len < 898) {
+    input_buf[input_len] = c;
+    input_len = input_len + 1;
+    c = getc();
+  }
+  input_buf[input_len] = -1;
+}
+
+/* copies the pending section name; the fixed buffer holds 8 words */
+void set_section(int *name) {
+  /*BUG*/
+  for (int i = 0; i < 8; i = i + 1) {
+    section[i] = name[i];
+  }
+  /*ENDBUG*/
+}
+
+/* Directive state is applied at the head of every line, before any
+   output is emitted. */
+void apply_pending_state() {
+  if (sec_name != 0) {
+    set_section(sec_name);
+    sec_name = 0;
+  }
+  if (bold_start >= 0) {
+    line[bold_start] = '*';
+    bold_start = -1;
+  }
+  if (indent_top >= 0) {
+    indent_stack[indent_top] = out_col;
+  }
+  if (note_slot < 6) {
+    notes[note_slot] = out_lines;
+  }
+  if (tab_pos >= 0) {
+    tabs[tab_pos] = 1;
+  }
+  if (hdr_level < 8) {
+    hdr_counts[hdr_level] = out_lines;
+  }
+  if (margin_slot >= 0) {
+    margins[margin_slot] = out_col;
+  }
+}
+
+void handle_directive() {
+  directive_count = directive_count + 1;
+  int c = line[1];
+  if (c == 'S') {
+    /* .S name -- queue a section header */
+    sec_name = &line[3];
+  } else if (c == 'I') {
+    if (indent_top < 5) {
+      indent_top = indent_top + 1;
+      indent_stack[indent_top] = 4;
+    }
+  } else if (c == 'U') {
+    if (indent_top >= 0) { indent_top = indent_top - 1; }
+  } else if (c == 'B') {
+    bold_start = 0;
+  } else if (c == 'N') {
+    if (note_slot > 5) { note_slot = 0; }
+    notes[note_slot] = out_lines;
+    note_slot = note_slot + 1;
+  } else if (c == 'T') {
+    tab_pos = line[3] - '0';
+    if (tab_pos > 7) { tab_pos = 7; }
+  } else if (c == 'C') {
+    center_next = 1;
+  } else if (c == 'F') {
+    fill_char = line[3];
+    if (fill_char < ' ') { fill_char = ' '; }
+  } else if (c == 'L') {
+    if (list_depth < 3) {
+      list_depth = list_depth + 1;
+      list_counters[list_depth] = 0;
+    }
+  } else if (c == 'E') {
+    if (list_depth > 0) { list_depth = list_depth - 1; }
+  } else if (c == 'X') {
+    /* item: advance the innermost list counter */
+    if (list_depth > 0) {
+      list_counters[list_depth] = list_counters[list_depth] + 1;
+    }
+  }
+}
+
+/* pads a centred line before its words are emitted */
+int centering_pad(int text_len) {
+  int pad = (out_width - text_len) / 2;
+  if (pad < 0) { pad = 0; }
+  for (int i = 0; i < pad; i = i + 1) {
+    putc(fill_char);
+  }
+  return pad;
+}
+
+void emit_word(int start, int len) {
+  word_count = word_count + 1;
+  if (out_col + len + 1 > out_width) {
+    putc('\n');
+    out_lines = out_lines + 1;
+    out_col = 0;
+  }
+  if (out_col > 0) {
+    putc(' ');
+    out_col = out_col + 1;
+  }
+  for (int i = 0; i < len; i = i + 1) {
+    putc(line[start + i]);
+    out_col = out_col + 1;
+  }
+}
+
+void format_line() {
+  apply_pending_state();
+  if (line_len > 0 && line[0] == '.') {
+    handle_directive();
+    return;
+  }
+  if (line_len == 0) {
+    putc('\n');
+    out_lines = out_lines + 1;
+    out_col = 0;
+    return;
+  }
+  if (center_next == 1) {
+    centering_pad(line_len);
+    center_next = 0;
+  }
+  if (list_depth > 0) {
+    for (int k = 0; k < list_depth * 2; k = k + 1) {
+      putc(' ');
+      out_col = out_col + 1;
+    }
+  }
+  int i = 0;
+  while (i < line_len) {
+    while (i < line_len && line[i] == ' ') { i = i + 1; }
+    int start = i;
+    while (i < line_len && line[i] != ' ') { i = i + 1; }
+    if (i > start) { emit_word(start, i - start); }
+  }
+}
+
+int main() {
+  read_input();
+  int pos = 0;
+  while (pos <= input_len && input_buf[pos] != -1) {
+    line_len = 0;
+    while (input_buf[pos] != '\n' && input_buf[pos] != -1
+           && line_len < 95) {
+      line[line_len] = input_buf[pos];
+      line_len = line_len + 1;
+      pos = pos + 1;
+    }
+    if (input_buf[pos] == '\n') { pos = pos + 1; }
+    format_line();
+  }
+  putc('\n');
+  print_int(out_lines);
+  print_int(word_count);
+  print_int(directive_count);
+  return 0;
+}
+'''
+
+_BUGGY_PATCH = (
+    '''for (int i = 0; i < 8; i = i + 1) {
+    section[i] = name[i];
+  }''',
+    '''for (int i = 0; i <= 8; i = i + 1) {
+    section[i] = name[i];
+  }''',
+)
+
+BUGS = [
+    BugSpec('man_section', NAME, True, site_func='set_section',
+            description='section-header copy writes section[8]; the '
+                        'null-pointer guard means the bug is reachable '
+                        'on an NT-path only after the pointer fix'),
+]
+
+VERSIONS = {0: BUGS}
+
+
+def make_source(version=0):
+    source = _BASE_SOURCE
+    if version == -1:
+        return source
+    if version != 0:
+        raise ValueError('man_fmt has no version %r' % version)
+    correct, buggy = _BUGGY_PATCH
+    if correct not in source:
+        raise AssertionError('patch anchor missing in man_fmt')
+    return source.replace(correct, buggy)
+
+
+def default_input():
+    """An everyday plain-text document: no directives at all."""
+    text = ('the quick brown fox jumps over the lazy dog near the old\n'
+            'river bank while morning light settles on the quiet town\n'
+            'and the baker carries warm bread through narrow streets\n'
+            '\n'
+            'further down the road a small workshop opens its doors\n'
+            'and the sound of tools fills the cool air of early spring\n')
+    return text, []
+
+
+def random_input(seed):
+    state = (seed * 1181783497 + 5) & 0x7FFFFFFF
+    words = ['stone', 'river', 'light', 'cloud', 'field', 'tree',
+             'road', 'wind', 'roof', 'door', 'lamp', 'mill']
+    lines = []
+    for _ in range(6):
+        picks = []
+        for _ in range(9):
+            state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+            picks.append(words[state % len(words)])
+        lines.append(' '.join(picks))
+    return '\n'.join(lines) + '\n', []

@@ -1,0 +1,271 @@
+"""parser_app: a dictionary-driven sentence checker (SPEC 197.parser
+analogue).
+
+Tokenizes sentences, looks every word up in a small dictionary with
+part-of-speech tags, and runs a linkage check (determiner-noun-verb
+agreement) over each sentence.  Mostly pure computation with a summary
+printed at the end; used for the coverage and overhead experiments.
+
+No seeded bugs.
+"""
+
+from __future__ import annotations
+
+NAME = 'parser_app'
+TOOLS = ()
+IS_SIEMENS = False
+VERSIONS = {}
+BUGS = []
+
+_SOURCE = r'''
+/* parser_app -- sentence linkage checker */
+
+int input_buf[900];
+int input_len = 0;
+
+int word[16];
+int word_len = 0;
+
+/* dictionary: packed 8-word entries [c0 c1 c2 c3 0 tag 0 0] */
+/* tags: 1 determiner, 2 noun, 3 verb, 4 adjective, 5 preposition */
+int dict[160];
+int dict_count = 0;
+
+int sent_words = 0;
+int sent_state = 0;     /* 0 start, 1 saw det, 2 saw subject, 3 saw verb */
+int good_sentences = 0;
+int bad_sentences = 0;
+int unknown_words = 0;
+int total_words = 0;
+int strict_mode = 0;    /* reject sentences with unknown words */
+int number_tokens = 0;
+int proper_nouns = 0;
+int plural_hits = 0;
+int quote_depth = 0;
+int prep_phrases = 0;
+int strict_rejects = 0;
+
+void add_word(int a, int b, int c, int d, int tag) {
+  int base = dict_count * 8;
+  dict[base] = a;
+  dict[base + 1] = b;
+  dict[base + 2] = c;
+  dict[base + 3] = d;
+  dict[base + 4] = 0;
+  dict[base + 5] = tag;
+  dict_count = dict_count + 1;
+}
+
+void build_dictionary() {
+  add_word('t', 'h', 'e', 0, 1);
+  add_word('a', 0, 0, 0, 1);
+  add_word('c', 'a', 't', 0, 2);
+  add_word('d', 'o', 'g', 0, 2);
+  add_word('m', 'a', 'n', 0, 2);
+  add_word('s', 'u', 'n', 0, 2);
+  add_word('r', 'u', 'n', 's', 3);
+  add_word('s', 'e', 'e', 's', 3);
+  add_word('h', 'a', 's', 0, 3);
+  add_word('b', 'i', 'g', 0, 4);
+  add_word('o', 'l', 'd', 0, 4);
+  add_word('r', 'e', 'd', 0, 4);
+  add_word('i', 'n', 0, 0, 5);
+  add_word('o', 'n', 0, 0, 5);
+}
+
+void read_input() {
+  int c = getc();
+  while (c != -1 && input_len < 898) {
+    input_buf[input_len] = c;
+    input_len = input_len + 1;
+    c = getc();
+  }
+  input_buf[input_len] = -1;
+}
+
+/* numbers are their own token class */
+int scan_number() {
+  int value = 0;
+  int digits = 0;
+  while (digits < word_len && word[digits] >= '0'
+         && word[digits] <= '9') {
+    value = value * 10 + (word[digits] - '0');
+    digits = digits + 1;
+  }
+  if (digits == word_len) { return value + 1; }
+  return 0;
+}
+
+/* strips a plural 's' and retries the dictionary */
+int strip_plural() {
+  if (word_len < 3) { return 0; }
+  if (word[word_len - 1] != 's') { return 0; }
+  word_len = word_len - 1;
+  plural_hits = plural_hits + 1;
+  return 1;
+}
+
+/* capitalised words act as proper nouns */
+int is_proper() {
+  if (word[0] >= 'A' && word[0] <= 'Z') {
+    proper_nouns = proper_nouns + 1;
+    return 1;
+  }
+  return 0;
+}
+
+int lookup_tag() {
+  for (int e = 0; e < dict_count; e = e + 1) {
+    int base = e * 8;
+    int i = 0;
+    int match = 1;
+    while (i < word_len) {
+      if (dict[base + i] != word[i]) { match = 0; break; }
+      i = i + 1;
+    }
+    if (match == 1 && dict[base + word_len] == 0) {
+      return dict[base + 5];
+    }
+  }
+  return 0;
+}
+
+/* linkage automaton: det? adj* noun verb (adj|noun|prep)* */
+void link_word(int tag) {
+  if (tag == 0) {
+    unknown_words = unknown_words + 1;
+    if (strict_mode == 1) {
+      strict_rejects = strict_rejects + 1;
+      sent_state = 0;
+    }
+    return;
+  }
+  if (tag == 5) {
+    /* prepositional phrase: needs a following det/noun to bind */
+    if (sent_state == 3) { prep_phrases = prep_phrases + 1; }
+    return;
+  }
+  if (sent_state == 0) {
+    if (tag == 1) { sent_state = 1; }
+    else if (tag == 2) { sent_state = 2; }
+    return;
+  }
+  if (sent_state == 1) {
+    if (tag == 2) { sent_state = 2; }
+    return;
+  }
+  if (sent_state == 2) {
+    if (tag == 3) { sent_state = 3; }
+    return;
+  }
+}
+
+void end_sentence() {
+  if (sent_words == 0) { return; }
+  if (sent_state == 3) { good_sentences = good_sentences + 1; }
+  else { bad_sentences = bad_sentences + 1; }
+  sent_state = 0;
+  sent_words = 0;
+}
+
+void process() {
+  int pos = 0;
+  while (pos < input_len && input_buf[pos] != -1) {
+    int c = input_buf[pos];
+    if (c == ' ' || c == '\n') { pos = pos + 1; continue; }
+    if (c == '.') {
+      end_sentence();
+      pos = pos + 1;
+      continue;
+    }
+    if (c == 34) {
+      /* quoted spans are skipped by the linker */
+      quote_depth = quote_depth + 1;
+      pos = pos + 1;
+      while (pos < input_len && input_buf[pos] != 34
+             && input_buf[pos] != -1) {
+        pos = pos + 1;
+      }
+      if (input_buf[pos] == 34) {
+        quote_depth = quote_depth - 1;
+        pos = pos + 1;
+      }
+      continue;
+    }
+    word_len = 0;
+    while (pos < input_len && input_buf[pos] != ' '
+           && input_buf[pos] != '.' && input_buf[pos] != '\n'
+           && input_buf[pos] != -1) {
+      if (word_len < 15) {
+        word[word_len] = input_buf[pos];
+        word_len = word_len + 1;
+      }
+      pos = pos + 1;
+    }
+    total_words = total_words + 1;
+    sent_words = sent_words + 1;
+    if (scan_number() != 0) {
+      number_tokens = number_tokens + 1;
+      continue;
+    }
+    int tag = lookup_tag();
+    if (tag == 0 && is_proper() == 1) {
+      tag = 2;
+    }
+    if (tag == 0) {
+      if (strip_plural() == 1) {
+        tag = lookup_tag();
+      }
+    }
+    link_word(tag);
+  }
+  end_sentence();
+}
+
+int main() {
+  strict_mode = read_int();
+  if (strict_mode != 1) { strict_mode = 0; }
+  build_dictionary();
+  read_input();
+  process();
+  print_int(total_words);
+  print_int(good_sentences);
+  print_int(bad_sentences);
+  print_int(unknown_words);
+  print_int(number_tokens + proper_nouns + plural_hits);
+  return 0;
+}
+'''
+
+
+def make_source(version=0):
+    if version not in (0, -1):
+        raise ValueError('parser_app has no version %r' % version)
+    return _SOURCE
+
+
+def default_input():
+    base = ('the cat sees the dog. a man runs. the big sun has red. '
+            'the old dog runs. a big cat sees a man. '
+            'the dog has the red cat. a cat runs. ')
+    variants = ('a dog sees the sun. the man has a big cat. '
+                'the red sun runs. a cat has the old dog. ',
+                'the big man sees a red dog. a sun runs. '
+                'the cat has a dog. the old man runs. ')
+    # a realistic document is many pages of such sentences; the long
+    # stream is what amortises PathExpander's fixed exploration work
+    text = (base + variants[0] + base + variants[1]) * 8
+    return text, [0]
+
+
+def random_input(seed):
+    state = (seed * 1540483477 + 41) & 0x7FFFFFFF
+    words = ['the', 'a', 'cat', 'dog', 'man', 'sun', 'runs', 'sees',
+             'has', 'big', 'old', 'red', 'in', 'on', 'qux']
+    pieces = []
+    for _ in range(50):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        pieces.append(words[state % len(words)])
+        if state % 7 == 0:
+            pieces.append('.')
+    return ' '.join(pieces) + ' .', [seed % 2]

@@ -1,0 +1,342 @@
+"""print_tokens: a stream tokenizer (Siemens-suite analogue).
+
+Classifies an input character stream into identifiers, numbers,
+keywords, specials, strings, character literals and comments, keeping
+per-category statistics.  The input is read into a buffer up front;
+tokenization is pure computation, so NT-paths can run deep into
+unexercised handlers before meeting an unsafe event.
+
+Seven buggy versions (one seeded semantic bug each), checked with
+assertions, reproducing the paper's print_tokens row of Table 4:
+v1/v2/v3/v5/v7 are detectable through NT-paths with a common input;
+v4 is a value-coverage miss; v6 needs a special input (the bug site is
+deeper than MaxNTPathLength from the explored edge).
+"""
+
+from __future__ import annotations
+
+from repro.apps.bugs import BugSpec, MissReason
+
+NAME = 'print_tokens'
+TOOLS = ('assertions',)
+IS_SIEMENS = True
+
+_BASE_SOURCE = r'''
+/* print_tokens -- stream tokenizer */
+
+int input_buf[600];
+int input_len = 0;
+
+int tok[24];
+int tok_len = 0;
+
+int counts[8];          /* per-category token counts */
+int total_tokens = 0;
+int error_count = 0;
+int comment_nest = 0;
+int bracket_depth = 0;
+int keyword_hits = 0;
+int line_no = 1;
+
+int is_alpha(int c) {
+  if (c >= 'a' && c <= 'z') { return 1; }
+  if (c >= 'A' && c <= 'Z') { return 1; }
+  return 0;
+}
+
+int is_digit(int c) {
+  return c >= '0' && c <= '9';
+}
+
+int is_space(int c) {
+  if (c == ' ') { return 1; }
+  if (c == '\t') { return 1; }
+  if (c == '\n') { return 1; }
+  return 0;
+}
+
+void read_input() {
+  int c = getc();
+  while (c != -1 && input_len < 599) {
+    input_buf[input_len] = c;
+    input_len = input_len + 1;
+    c = getc();
+  }
+  input_buf[input_len] = -1;
+}
+
+int match_word(int *word) {
+  int i = 0;
+  while (word[i] != 0 && i < tok_len) {
+    if (tok[i] != word[i]) { return 0; }
+    i = i + 1;
+  }
+  if (word[i] == 0 && i == tok_len) { return 1; }
+  return 0;
+}
+
+int is_keyword() {
+  if (match_word("if")) { return 1; }
+  if (match_word("then")) { return 1; }
+  if (match_word("and")) { return 1; }
+  if (match_word("or")) { return 1; }
+  return 0;
+}
+
+/* returns the new position */
+int handle_ident(int pos) {
+  tok_len = 0;
+  while (is_alpha(input_buf[pos]) || is_digit(input_buf[pos])) {
+    if (tok_len < 23) { tok[tok_len] = input_buf[pos]; tok_len = tok_len + 1; }
+    pos = pos + 1;
+  }
+  if (is_keyword()) {
+    /*V5*/
+    keyword_hits = keyword_hits + 1;
+    counts[3] = counts[3] + 1;
+    assert(keyword_hits <= total_tokens + 1, "PT_V5_GUARD");
+    /*END5*/
+  } else {
+    counts[0] = counts[0] + 1;
+  }
+  return pos;
+}
+
+int handle_number(int pos) {
+  int value = 0;
+  while (is_digit(input_buf[pos])) {
+    value = value * 10 + (input_buf[pos] - '0');
+    pos = pos + 1;
+  }
+  counts[1] = counts[1] + 1;
+  /*V4*/
+  assert(value >= 0, "PT_V4_GUARD");
+  /*END4*/
+  return pos;
+}
+
+int handle_string(int pos) {
+  int j = 0;
+  pos = pos + 1;                     /* skip opening quote */
+  /*V1*/
+  counts[4] = counts[4] + 1;
+  assert(counts[4] >= 1, "PT_V1_GUARD");
+  /*END1*/
+  while (input_buf[pos] != '"' && input_buf[pos] != -1 && j < 40) {
+    if (j < 23) { tok[j] = input_buf[pos]; }
+    j = j + 1;
+    pos = pos + 1;
+  }
+  /*V6*/
+  if (j >= 40) {
+    error_count = error_count + 1;
+  }
+  /*END6*/
+  if (input_buf[pos] == '"') { pos = pos + 1; }
+  return pos;
+}
+
+int handle_charlit(int pos) {
+  pos = pos + 1;
+  if (input_buf[pos] != -1) {
+    tok[0] = input_buf[pos];
+    pos = pos + 1;
+  }
+  if (input_buf[pos] == 39) { pos = pos + 1; }
+  counts[5] = counts[5] + 1;
+  return pos;
+}
+
+int handle_comment(int pos) {
+  /*V2*/
+  comment_nest = comment_nest + 1;
+  assert(comment_nest == 1, "PT_V2_GUARD");
+  /*END2*/
+  while (input_buf[pos] != '\n' && input_buf[pos] != -1) {
+    pos = pos + 1;
+  }
+  comment_nest = comment_nest - 1;
+  counts[6] = counts[6] + 1;
+  return pos;
+}
+
+int handle_special(int pos) {
+  int c = input_buf[pos];
+  if (c == '[' || c == ']') {
+    /*V7*/
+    if (c == '[') { bracket_depth = bracket_depth + 1; }
+    else { bracket_depth = bracket_depth - 1; }
+    assert(bracket_depth + 1 >= 0, "PT_V7_GUARD");
+    /*END7*/
+  }
+  counts[2] = counts[2] + 1;
+  return pos + 1;
+}
+
+int handle_error(int pos) {
+  /*V3*/
+  error_count = error_count + 1;
+  assert(error_count <= total_tokens + 1, "PT_V3_GUARD");
+  /*END3*/
+  counts[7] = counts[7] + 1;
+  return pos + 1;
+}
+
+void tokenize() {
+  int pos = 0;
+  while (input_buf[pos] != -1 && pos < input_len) {
+    int c = input_buf[pos];
+    if (is_space(c)) {
+      if (c == '\n') { line_no = line_no + 1; }
+      pos = pos + 1;
+      continue;
+    }
+    total_tokens = total_tokens + 1;
+    if (is_alpha(c)) { pos = handle_ident(pos); }
+    else if (is_digit(c)) { pos = handle_number(pos); }
+    else if (c == '"') { pos = handle_string(pos); }
+    else if (c == 39) { pos = handle_charlit(pos); }
+    else if (c == '#') { pos = handle_comment(pos); }
+    else if (c == '(' || c == ')' || c == '[' || c == ']' ||
+             c == ';' || c == ',' || c == '=') {
+      pos = handle_special(pos);
+    }
+    else { pos = handle_error(pos); }
+  }
+}
+
+int main() {
+  read_input();
+  tokenize();
+  for (int i = 0; i < 8; i = i + 1) { print_int(counts[i]); }
+  print_int(total_tokens);
+  print_int(error_count);
+  print_int(line_no);
+  return 0;
+}
+'''
+
+# version -> (correct snippet, buggy snippet)
+_BUG_PATCHES = {
+    1: (
+        '''counts[4] = counts[4] + 1;
+  assert(counts[4] >= 1, "PT_V1_GUARD");''',
+        '''counts[4] = counts[4] - 1;
+  assert(counts[4] >= 1, "PT_V1");''',
+    ),
+    2: (
+        '''comment_nest = comment_nest + 1;
+  assert(comment_nest == 1, "PT_V2_GUARD");''',
+        '''comment_nest = comment_nest + 2;
+  assert(comment_nest == 1, "PT_V2");''',
+    ),
+    3: (
+        '''error_count = error_count + 1;
+  assert(error_count <= total_tokens + 1, "PT_V3_GUARD");''',
+        '''error_count = error_count + total_tokens + 2;
+  assert(error_count <= total_tokens + 1, "PT_V3");''',
+    ),
+    # v4 is a *value*-coverage bug: there is no branch guarding the
+    # bad value, so NT-path exploration (a *path*-coverage tool)
+    # cannot surface it -- only an input containing 777 can.
+    4: (
+        'assert(value >= 0, "PT_V4_GUARD");',
+        'assert(value != 777, "PT_V4");',
+    ),
+    5: (
+        '''keyword_hits = keyword_hits + 1;
+    counts[3] = counts[3] + 1;
+    assert(keyword_hits <= total_tokens + 1, "PT_V5_GUARD");''',
+        '''keyword_hits = keyword_hits + total_tokens + 2;
+    counts[3] = counts[3] + 1;
+    assert(keyword_hits <= total_tokens + 1, "PT_V5");''',
+    ),
+    6: (
+        '''if (j >= 40) {
+    error_count = error_count + 1;
+  }''',
+        '''if (j >= 40) {
+    error_count = error_count - 1;
+    assert(error_count >= 0, "PT_V6");
+  }''',
+    ),
+    7: (
+        '''if (c == '[') { bracket_depth = bracket_depth + 1; }
+    else { bracket_depth = bracket_depth - 1; }
+    assert(bracket_depth + 1 >= 0, "PT_V7_GUARD");''',
+        '''if (c == '[') { bracket_depth = bracket_depth + 1; }
+    else { bracket_depth = bracket_depth - 2; }
+    assert(bracket_depth + 1 >= 0, "PT_V7");''',
+    ),
+}
+
+VERSIONS = {
+    1: [BugSpec('pt_v1', NAME, True, assert_id='PT_V1',
+                description='string handler decrements the category '
+                            'counter instead of incrementing it')],
+    2: [BugSpec('pt_v2', NAME, True, assert_id='PT_V2',
+                description='comment handler double-increments the '
+                            'nesting depth')],
+    3: [BugSpec('pt_v3', NAME, True, assert_id='PT_V3',
+                description='error handler jumps the error counter '
+                            'past the token count')],
+    4: [BugSpec('pt_v4', NAME, False,
+                miss_reason=MissReason.VALUE_COVERAGE, assert_id='PT_V4',
+                description='number handler corrupts only the value '
+                            '777, which no common input produces')],
+    5: [BugSpec('pt_v5', NAME, True, assert_id='PT_V5',
+                description='keyword handler inflates keyword_hits '
+                            'beyond the token count')],
+    6: [BugSpec('pt_v6', NAME, False,
+                miss_reason=MissReason.SPECIAL_INPUT, assert_id='PT_V6',
+                description='unterminated-string handler bug sits '
+                            'behind a 40-iteration scan, deeper than '
+                            'MaxNTPathLength from the explored edge')],
+    7: [BugSpec('pt_v7', NAME, True, assert_id='PT_V7',
+                description='bracket tracking decrements by two on '
+                            'every closing bracket')],
+}
+
+
+def make_source(version=0):
+    """The MiniC source of one program version (0 = correct base)."""
+    source = _BASE_SOURCE
+    if version:
+        if version not in _BUG_PATCHES:
+            raise ValueError('print_tokens has no version %r' % version)
+        correct, buggy = _BUG_PATCHES[version]
+        if correct not in source:
+            raise AssertionError('patch anchor missing for v%d' % version)
+        source = source.replace(correct, buggy)
+    return source
+
+
+def default_input():
+    """A common, non-bug-triggering input: identifiers, numbers and a
+    few everyday specials -- no strings, comments, char literals,
+    keywords, brackets or illegal characters."""
+    text = 'alpha beta 12 gamma(4, 5); delta epsilon 900 zeta(alpha);\n' \
+           'eta theta 77 iota(beta, 3); kappa 15 mu(nu); xi 8\n'
+    return text, []
+
+
+def random_input(seed):
+    """Random token streams over the same common alphabet."""
+    state = (seed * 2654435761 + 101) & 0x7FFFFFFF
+    words = ['alpha', 'beta', 'gamma', 'delta', 'run', 'x', 'count',
+             'total', 'very', 'top']
+    pieces = []
+    for _ in range(30):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        choice = state % 10
+        if choice < 4:
+            pieces.append(words[state % len(words)])
+        elif choice < 7:
+            pieces.append(str(state % 1000))
+        elif choice == 7:
+            pieces.append('(')
+        elif choice == 8:
+            pieces.append(')')
+        else:
+            pieces.append(';')
+    return ' '.join(pieces) + '\n', []

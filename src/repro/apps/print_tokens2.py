@@ -1,0 +1,430 @@
+"""print_tokens2: the second Siemens tokenizer variant.
+
+Unlike :mod:`repro.apps.print_tokens`, tokens are scanned into a fixed
+token buffer by ``get_token`` first and then dispatched on the token
+*kind*, which is how the paper's Figure 1 bug arises: version 10 scans
+a quoted token for its closing quote without checking for the
+terminator, overrunning the token buffer -- a memory bug detectable by
+CCured/iWatcher only when the quoted-token path runs.
+
+Versions 1-9 carry one semantic bug each (assertions):
+
+* detected via NT-paths: v1, v4, v5, v7;
+* missed -- value coverage: v2, v8, v9;
+* missed -- NT-path state inconsistency: v3 (the assertion reads
+  ``str_len``, which only the real string-scanning path sets; the
+  variable fix satisfies the branch but leaves ``str_len`` stale);
+* missed -- needs a special input: v6 (bug sits past an end-of-line
+  scan longer than MaxNTPathLength).
+"""
+
+from __future__ import annotations
+
+from repro.apps.bugs import BugSpec, MissReason
+
+NAME = 'print_tokens2'
+TOOLS = ('assertions', 'ccured', 'iwatcher')
+IS_SIEMENS = True
+
+_BASE_SOURCE = r'''
+/* print_tokens2 -- token-buffer based tokenizer */
+
+int input_buf[600];
+int input_len = 0;
+
+int tok[8];             /* current token text, NUL-terminated */
+int strbuf[16];         /* string-token content */
+int tok_kind = 0;
+int str_len = 0;        /* set only while scanning string tokens */
+int num_value = 0;
+
+int counts[8];
+int total_tokens = 0;
+int error_count = 0;
+int char_count = 0;
+int keyword_hits = 0;
+int paren_depth = 0;
+int line_no = 1;
+
+int bm_pos = -1;        /* sentinel: no bookmark pending */
+int bm_log[8];
+int col_mark = 9;       /* sentinel: past the column log */
+int col_log[8];
+int esc_slot = -2;      /* sentinel: no escape continuation */
+int esc_log[6];
+
+int is_alpha(int c) {
+  if (c >= 'a' && c <= 'z') { return 1; }
+  if (c >= 'A' && c <= 'Z') { return 1; }
+  return 0;
+}
+
+int is_digit(int c) {
+  return c >= '0' && c <= '9';
+}
+
+void read_input() {
+  int c = getc();
+  while (c != -1 && input_len < 599) {
+    input_buf[input_len] = c;
+    input_len = input_len + 1;
+    c = getc();
+  }
+  input_buf[input_len] = -1;
+}
+
+int match_word(int *word) {
+  int i = 0;
+  while (word[i] != 0 && tok[i] != 0) {
+    if (tok[i] != word[i]) { return 0; }
+    i = i + 1;
+  }
+  return word[i] == 0 && tok[i] == 0;
+}
+
+int is_keyword() {
+  if (match_word("begin")) { return 1; }
+  if (match_word("end")) { return 1; }
+  if (match_word("not")) { return 1; }
+  return 0;
+}
+
+/* Scans one token starting at pos into tok[]; sets tok_kind.
+   Returns the new position. */
+int get_token(int pos) {
+  int c = input_buf[pos];
+  int n = 0;
+  str_len = 0;
+  tok[0] = 0;
+  if (is_alpha(c)) {
+    while (is_alpha(input_buf[pos]) || is_digit(input_buf[pos])) {
+      if (n < 7) { tok[n] = input_buf[pos]; n = n + 1; }
+      pos = pos + 1;
+    }
+    tok[n] = 0;
+    tok_kind = 0;
+    if (is_keyword()) { tok_kind = 6; }
+    return pos;
+  }
+  if (is_digit(c)) {
+    num_value = 0;
+    while (is_digit(input_buf[pos])) {
+      num_value = num_value * 10 + (input_buf[pos] - '0');
+      pos = pos + 1;
+    }
+    tok_kind = 1;
+    return pos;
+  }
+  if (c == '"') {
+    tok[0] = '"';
+    tok[1] = 0;
+    pos = pos + 1;
+    while (input_buf[pos] != '"' && input_buf[pos] != -1 && n < 15) {
+      strbuf[n] = input_buf[pos];
+      n = n + 1;
+      pos = pos + 1;
+    }
+    strbuf[n] = 0;
+    str_len = n;
+    if (input_buf[pos] == '"') { pos = pos + 1; }
+    tok_kind = 3;
+    return pos;
+  }
+  if (c == 39) {
+    pos = pos + 1;
+    if (input_buf[pos] != -1) { tok[0] = input_buf[pos]; pos = pos + 1; }
+    if (input_buf[pos] == 39) { pos = pos + 1; }
+    tok_kind = 4;
+    return pos;
+  }
+  if (c == '%') {
+    tok_kind = 5;
+    return pos;
+  }
+  if (c == '(' || c == ')' || c == ';' || c == ',' || c == '=') {
+    tok[0] = c;
+    tok_kind = 2;
+    return pos + 1;
+  }
+  tok[0] = c;
+  tok_kind = 7;
+  return pos + 1;
+}
+
+/* Figure 1: quoted tokens are re-scanned for their closing quote.
+   This check runs for every token, directly after get_token. */
+int quote_scan() {
+  int i = 0;
+  if (tok[0] == '"') {
+    /*V10*/
+    i = 1;
+    while (tok[i] != '"' && tok[i] != 0) { i = i + 1; }
+    /*END10*/
+  }
+  return i;
+}
+
+void do_ident() {
+  counts[0] = counts[0] + 1;
+  int n = 0;
+  while (tok[n] != 0) { n = n + 1; }
+  /*V8*/
+  assert(n <= 7, "PT2_V8_GUARD");
+  /*END8*/
+}
+
+void do_number() {
+  counts[1] = counts[1] + 1;
+  /*V2*/
+  assert(num_value >= 0, "PT2_V2_GUARD");
+  /*END2*/
+}
+
+void do_string(int kind) {
+  if (kind == 3) {
+    /*V3*/
+    assert(str_len >= 0, "PT2_V3_GUARD");
+    /*END3*/
+    counts[3] = counts[3] + 1;
+  }
+}
+
+void do_charlit() {
+  /*V1*/
+  char_count = char_count + 1;
+  assert(char_count <= total_tokens + 1, "PT2_V1_GUARD");
+  /*END1*/
+  counts[4] = counts[4] + 1;
+}
+
+int do_comment(int pos) {
+  /*V6*/
+  while (input_buf[pos] != '\n' && input_buf[pos] != -1) {
+    pos = pos + 1;
+  }
+  /*END6*/
+  counts[5] = counts[5] + 1;
+  return pos;
+}
+
+void do_special() {
+  int c = tok[0];
+  if (c == '(') {
+    paren_depth = paren_depth + 1;
+  } else if (c == ')') {
+    /*V4*/
+    paren_depth = paren_depth - 1;
+    assert(paren_depth + 1 >= 0, "PT2_V4_GUARD");
+    /*END4*/
+  }
+  counts[2] = counts[2] + 1;
+}
+
+void do_keyword() {
+  /*V5*/
+  keyword_hits = keyword_hits + 1;
+  assert(keyword_hits <= total_tokens + 1, "PT2_V5_GUARD");
+  /*END5*/
+  counts[6] = counts[6] + 1;
+}
+
+void do_error() {
+  /*V7*/
+  error_count = error_count + 1;
+  assert(error_count <= total_tokens + 1, "PT2_V7_GUARD");
+  /*END7*/
+  counts[7] = counts[7] + 1;
+}
+
+/* tracing state applied per token; armed only by debug inputs */
+void trace_state(int pos) {
+  if (bm_pos >= 0) {
+    bm_log[bm_pos] = pos;
+    bm_pos = -1;
+  }
+  if (col_mark < 8) {
+    col_log[col_mark] = pos;
+  }
+  if (esc_slot >= 0) {
+    esc_log[esc_slot] = pos;
+  }
+}
+
+void run() {
+  int pos = 0;
+  while (pos < input_len && input_buf[pos] != -1) {
+    trace_state(pos);
+    int c = input_buf[pos];
+    if (c == ' ' || c == '\t') { pos = pos + 1; continue; }
+    if (c == '\n') {
+      line_no = line_no + 1;
+      /*V9*/
+      pos = pos + 1;
+      /*END9*/
+      continue;
+    }
+    pos = get_token(pos);
+    quote_scan();
+    total_tokens = total_tokens + 1;
+    if (tok_kind == 6) { do_keyword(); }
+    else if (tok_kind == 0) { do_ident(); }
+    else if (tok_kind == 1) { do_number(); }
+    else if (tok_kind == 3) { do_string(tok_kind); }
+    else if (tok_kind == 4) { do_charlit(); }
+    else if (tok_kind == 5) { pos = do_comment(pos); }
+    else if (tok_kind == 2) { do_special(); }
+    else { do_error(); }
+  }
+}
+
+int main() {
+  read_input();
+  run();
+  for (int i = 0; i < 8; i = i + 1) { print_int(counts[i]); }
+  print_int(total_tokens);
+  print_int(line_no);
+  return 0;
+}
+'''
+
+_BUG_PATCHES = {
+    1: (
+        '''char_count = char_count + 1;
+  assert(char_count <= total_tokens + 1, "PT2_V1_GUARD");''',
+        '''char_count = char_count + total_tokens + 2;
+  assert(char_count <= total_tokens + 1, "PT2_V1");''',
+    ),
+    2: (
+        'assert(num_value >= 0, "PT2_V2_GUARD");',
+        'assert(num_value != 512, "PT2_V2");',
+    ),
+    3: (
+        'assert(str_len >= 0, "PT2_V3_GUARD");',
+        'assert(str_len < 12, "PT2_V3");',
+    ),
+    4: (
+        '''paren_depth = paren_depth - 1;
+    assert(paren_depth + 1 >= 0, "PT2_V4_GUARD");''',
+        '''paren_depth = paren_depth - 2;
+    assert(paren_depth + 1 >= 0, "PT2_V4");''',
+    ),
+    5: (
+        '''keyword_hits = keyword_hits + 1;
+  assert(keyword_hits <= total_tokens + 1, "PT2_V5_GUARD");''',
+        '''keyword_hits = keyword_hits + total_tokens + 2;
+  assert(keyword_hits <= total_tokens + 1, "PT2_V5");''',
+    ),
+    6: (
+        r'''while (input_buf[pos] != '\n' && input_buf[pos] != -1) {
+    pos = pos + 1;
+  }''',
+        r'''while (input_buf[pos] != '\n' && input_buf[pos] != -1) {
+    pos = pos + 1;
+  }
+  counts[5] = counts[5] - 1;
+  assert(counts[5] + 1 >= 0, "PT2_V6");''',
+    ),
+    7: (
+        '''error_count = error_count + 1;
+  assert(error_count <= total_tokens + 1, "PT2_V7_GUARD");''',
+        '''error_count = error_count + total_tokens + 2;
+  assert(error_count <= total_tokens + 1, "PT2_V7");''',
+    ),
+    8: (
+        'assert(n <= 7, "PT2_V8_GUARD");',
+        'assert(n != 15, "PT2_V8");',
+    ),
+    9: (
+        '''pos = pos + 1;
+      /*END9*/''',
+        '''pos = pos + 1;
+      assert(line_no != 100, "PT2_V9");
+      /*END9*/''',
+    ),
+    10: (
+        '''i = 1;
+    while (tok[i] != '"' && tok[i] != 0) { i = i + 1; }''',
+        '''i = 1;
+    while (tok[i] != '"') { i = i + 1; }''',
+    ),
+}
+
+VERSIONS = {
+    1: [BugSpec('pt2_v1', NAME, True, assert_id='PT2_V1',
+                description='char-literal handler inflates char_count '
+                            'past the token count')],
+    2: [BugSpec('pt2_v2', NAME, False,
+                miss_reason=MissReason.VALUE_COVERAGE,
+                assert_id='PT2_V2',
+                description='number handler wrong only for value 512')],
+    3: [BugSpec('pt2_v3', NAME, False,
+                miss_reason=MissReason.INCONSISTENCY,
+                assert_id='PT2_V3',
+                description='string-length invariant: the fix satisfies '
+                            'the kind==3 branch but str_len stays stale, '
+                            'so the violation never shows on the NT-path')],
+    4: [BugSpec('pt2_v4', NAME, True, assert_id='PT2_V4',
+                description='closing-paren handler decrements depth '
+                            'twice')],
+    5: [BugSpec('pt2_v5', NAME, True, assert_id='PT2_V5',
+                description='keyword handler inflates keyword_hits')],
+    6: [BugSpec('pt2_v6', NAME, False,
+                miss_reason=MissReason.SPECIAL_INPUT,
+                assert_id='PT2_V6',
+                description='comment handler bug sits after an '
+                            'end-of-line scan longer than '
+                            'MaxNTPathLength')],
+    7: [BugSpec('pt2_v7', NAME, True, assert_id='PT2_V7',
+                description='error handler jumps error_count past the '
+                            'token count')],
+    8: [BugSpec('pt2_v8', NAME, False,
+                miss_reason=MissReason.VALUE_COVERAGE,
+                assert_id='PT2_V8',
+                description='identifier handler wrong only at the '
+                            'buffer-capacity length 15')],
+    9: [BugSpec('pt2_v9', NAME, False,
+                miss_reason=MissReason.VALUE_COVERAGE,
+                assert_id='PT2_V9',
+                description='newline handler wrong only at line 100')],
+    10: [BugSpec('pt2_v10', NAME, True, site_func='quote_scan',
+                 description='Figure 1: quoted-token scan misses the '
+                             'terminator check and overruns tok[]')],
+}
+
+
+def make_source(version=0):
+    source = _BASE_SOURCE
+    if version:
+        if version not in _BUG_PATCHES:
+            raise ValueError('print_tokens2 has no version %r' % version)
+        correct, buggy = _BUG_PATCHES[version]
+        if correct not in source:
+            raise AssertionError('patch anchor missing for v%d' % version)
+        source = source.replace(correct, buggy)
+    return source
+
+
+def default_input():
+    """Common input: identifiers, numbers, separators -- token strings
+    never start with a quotation mark (the Figure 1 pre-condition)."""
+    text = 'foo bar 12 baz; qux, 300 = spam ham 9 eggs;\n' \
+           'one two 45 three; four, 88 = five six 7 seven;\n'
+    return text, []
+
+
+def random_input(seed):
+    state = (seed * 48271 + 7) & 0x7FFFFFFF
+    words = ['foo', 'bar', 'baz', 'qux', 'data', 'y', 'val', 'node']
+    pieces = []
+    for _ in range(28):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        choice = state % 9
+        if choice < 4:
+            pieces.append(words[state % len(words)])
+        elif choice < 7:
+            pieces.append(str(state % 900))
+        elif choice == 7:
+            pieces.append(';')
+        else:
+            pieces.append(',')
+    return ' '.join(pieces) + '\n', []

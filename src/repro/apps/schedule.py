@@ -1,0 +1,297 @@
+"""schedule: a priority process scheduler (Siemens-suite analogue).
+
+Maintains three priority ready-queues, a blocked list and a running
+job, driven by a command stream: ``1 prio`` add job, ``2`` schedule,
+``3`` block running, ``4`` unblock, ``5 id`` upgrade priority,
+``6`` finish running, ``7`` quantum expire, ``0`` end.
+
+The common input uses only the everyday commands (add/schedule/finish),
+leaving the block/unblock/upgrade/quantum handlers unexercised -- the
+territory PathExpander explores.  Five buggy versions:
+
+* v2, v4, v5 -- detected through NT-paths (bugs in the unexercised
+  handlers that violate their invariants structurally);
+* v1, v3 -- value-coverage misses, as in the paper ("limited by the
+  value coverage problem instead of the path coverage problem"):
+  the buggy computation has no guarding branch and is wrong only for
+  data values the input (and any variable fix) never produces.
+"""
+
+from __future__ import annotations
+
+from repro.apps.bugs import BugSpec, MissReason
+
+NAME = 'schedule'
+TOOLS = ('assertions',)
+IS_SIEMENS = True
+
+_BASE_SOURCE = r'''
+/* schedule -- three-level priority scheduler */
+
+int cmds[200];
+int cmd_len = 0;
+
+int queue[48];          /* 3 ready queues x 16 slots, by priority */
+int qlen[3];
+int blocked[16];
+int blocked_len = 0;
+int running = 0;        /* job id currently running, 0 = none */
+
+int job_prio[64];       /* job id -> priority */
+int next_id = 1;
+int job_count = 0;
+int finished_count = 0;
+int block_events = 0;
+int unblock_events = 0;
+int upgrade_events = 0;
+int quantum_events = 0;
+int idle_ticks = 0;
+
+void read_commands() {
+  int v = read_int();
+  while (v != -1 && cmd_len < 198) {
+    cmds[cmd_len] = v;
+    cmd_len = cmd_len + 1;
+    v = read_int();
+  }
+  cmds[cmd_len] = 0;
+}
+
+void enqueue(int id, int prio) {
+  if (prio < 0) { prio = 0; }
+  if (prio > 2) { prio = 2; }
+  if (qlen[prio] < 15) {
+    queue[prio * 16 + qlen[prio]] = id;
+    qlen[prio] = qlen[prio] + 1;
+  }
+}
+
+int dequeue(int prio) {
+  int id = queue[prio * 16];
+  for (int i = 1; i < qlen[prio]; i = i + 1) {
+    queue[prio * 16 + i - 1] = queue[prio * 16 + i];
+  }
+  qlen[prio] = qlen[prio] - 1;
+  return id;
+}
+
+void cmd_new_job(int prio) {
+  int id = next_id;
+  next_id = next_id + 1;
+  job_count = job_count + 1;
+  /*V1*/
+  job_prio[id & 63] = prio;
+  /*END1*/
+  enqueue(id, prio);
+}
+
+void cmd_schedule() {
+  if (running != 0) {
+    enqueue(running, job_prio[running & 63]);
+    running = 0;
+  }
+  for (int p = 0; p < 3; p = p + 1) {
+    if (qlen[p] > 0) {
+      running = dequeue(p);
+      /*V3*/
+      idle_ticks = 0;
+      /*END3*/
+      return;
+    }
+  }
+  idle_ticks = idle_ticks + 1;
+}
+
+void cmd_block() {
+  if (running != 0) {
+    /*V2*/
+    block_events = block_events + 1;
+    assert(block_events <= job_count + 1, "SCH_V2_GUARD");
+    /*END2*/
+    if (blocked_len < 15) {
+      blocked[blocked_len] = running;
+      blocked_len = blocked_len + 1;
+    }
+    running = 0;
+  }
+}
+
+void cmd_unblock() {
+  if (blocked_len > 0) {
+    int id = blocked[blocked_len - 1];
+    blocked_len = blocked_len - 1;
+    unblock_events = unblock_events + 1;
+    enqueue(id, job_prio[id & 63]);
+  }
+}
+
+void cmd_upgrade(int id) {
+  /*V4*/
+  upgrade_events = upgrade_events + 1;
+  assert(upgrade_events <= job_count + 1, "SCH_V4_GUARD");
+  /*END4*/
+  int p = job_prio[id & 63];
+  if (p > 0) {
+    job_prio[id & 63] = p - 1;
+  }
+}
+
+void cmd_finish() {
+  if (running != 0) {
+    finished_count = finished_count + 1;
+    job_count = job_count - 1;
+    running = 0;
+  }
+}
+
+void cmd_quantum() {
+  /*V5*/
+  quantum_events = quantum_events + 1;
+  assert(quantum_events <= job_count + 1, "SCH_V5_GUARD");
+  /*END5*/
+  if (running != 0) {
+    int p = job_prio[running & 63];
+    if (p < 2) { job_prio[running & 63] = p + 1; }
+    enqueue(running, job_prio[running & 63]);
+    running = 0;
+  }
+}
+
+void run_commands() {
+  int pos = 0;
+  while (pos < cmd_len) {
+    int cmd = cmds[pos];
+    pos = pos + 1;
+    if (cmd == 0) { return; }
+    if (cmd == 1) {
+      int prio = cmds[pos];
+      pos = pos + 1;
+      cmd_new_job(prio);
+    }
+    else if (cmd == 2) { cmd_schedule(); }
+    else if (cmd == 3) { cmd_block(); }
+    else if (cmd == 4) { cmd_unblock(); }
+    else if (cmd == 5) {
+      int id = cmds[pos];
+      pos = pos + 1;
+      cmd_upgrade(id);
+    }
+    else if (cmd == 6) { cmd_finish(); }
+    else if (cmd == 7) { cmd_quantum(); }
+  }
+}
+
+int main() {
+  read_commands();
+  run_commands();
+  print_int(job_count);
+  print_int(finished_count);
+  print_int(qlen[0] + qlen[1] + qlen[2]);
+  print_int(blocked_len);
+  print_int(idle_ticks);
+  return 0;
+}
+'''
+
+_BUG_PATCHES = {
+    # v1: value-coverage miss.  Priorities are stored without
+    # validation; the corruption only matters for prio == 9 (a value no
+    # common input and no boundary fix produces: the dispatch has no
+    # branch on prio at all).
+    1: (
+        'job_prio[id & 63] = prio;',
+        '''job_prio[id & 63] = prio;
+  assert(prio != 9, "SCH_V1");''',
+    ),
+    2: (
+        '''block_events = block_events + 1;
+    assert(block_events <= job_count + 1, "SCH_V2_GUARD");''',
+        '''block_events = block_events + job_count + 2;
+    assert(block_events <= job_count + 1, "SCH_V2");''',
+    ),
+    # v3: value-coverage miss inside the exercised scheduling loop:
+    # wrong only when the dequeued job id is exactly 40.
+    3: (
+        '''/*V3*/
+      idle_ticks = 0;
+      /*END3*/''',
+        '''/*V3*/
+      idle_ticks = 0;
+      assert(running != 40, "SCH_V3");
+      /*END3*/''',
+    ),
+    4: (
+        '''upgrade_events = upgrade_events + 1;
+  assert(upgrade_events <= job_count + 1, "SCH_V4_GUARD");''',
+        '''upgrade_events = upgrade_events + job_count + 2;
+  assert(upgrade_events <= job_count + 1, "SCH_V4");''',
+    ),
+    5: (
+        '''quantum_events = quantum_events + 1;
+  assert(quantum_events <= job_count + 1, "SCH_V5_GUARD");''',
+        '''quantum_events = quantum_events + job_count + 2;
+  assert(quantum_events <= job_count + 1, "SCH_V5");''',
+    ),
+}
+
+VERSIONS = {
+    1: [BugSpec('sch_v1', NAME, False,
+                miss_reason=MissReason.VALUE_COVERAGE, assert_id='SCH_V1',
+                description='unvalidated priority corrupts state only '
+                            'for prio 9')],
+    2: [BugSpec('sch_v2', NAME, True, assert_id='SCH_V2',
+                description='block handler inflates block_events past '
+                            'the job count')],
+    3: [BugSpec('sch_v3', NAME, False,
+                miss_reason=MissReason.VALUE_COVERAGE, assert_id='SCH_V3',
+                description='scheduling is wrong only for job id 40')],
+    4: [BugSpec('sch_v4', NAME, True, assert_id='SCH_V4',
+                description='upgrade handler inflates upgrade_events')],
+    5: [BugSpec('sch_v5', NAME, True, assert_id='SCH_V5',
+                description='quantum handler inflates quantum_events')],
+}
+
+
+def make_source(version=0):
+    source = _BASE_SOURCE
+    if version:
+        if version not in _BUG_PATCHES:
+            raise ValueError('schedule has no version %r' % version)
+        correct, buggy = _BUG_PATCHES[version]
+        if correct not in source:
+            raise AssertionError('patch anchor missing for v%d' % version)
+        source = source.replace(correct, buggy)
+    return source
+
+
+def default_input():
+    """Everyday workload: add jobs, schedule, finish.  No blocking,
+    upgrades or quantum expiries."""
+    ints = []
+    for prio in (0, 1, 2, 1, 0, 2, 1, 1):
+        ints.extend([1, prio, 2])   # add a job, schedule it
+    for _ in range(8):
+        ints.extend([6, 2])         # finish it, schedule the next
+    ints.append(0)
+    return '', ints
+
+
+def random_input(seed):
+    state = (seed * 69621 + 3) & 0x7FFFFFFF
+    ints = []
+    jobs = 0
+    for _ in range(40):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        choice = state % 6
+        if choice < 2:
+            ints.extend([1, state % 3])
+            jobs += 1
+        elif choice < 4:
+            ints.append(2)
+        elif jobs and choice == 4:
+            ints.append(6)
+            jobs -= 1
+        else:
+            ints.append(2)
+    ints.append(0)
+    return '', ints

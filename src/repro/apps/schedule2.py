@@ -1,0 +1,282 @@
+"""schedule2: the second Siemens scheduler variant.
+
+A round-robin scheduler with an admission ring buffer, driven by a
+command stream (``1 prio`` submit, ``2`` dispatch, ``3`` suspend,
+``4`` resume, ``5`` rotate, ``6`` complete, ``0`` end).
+
+Five buggy versions:
+
+* v1, v3, v4 -- detected through NT-paths (bugs in the unexercised
+  suspend/resume/rotate handlers);
+* v2 -- value-coverage miss (wrong only for ticket value 61);
+* v5 -- **exercised-edge miss** (the paper's second miss mechanism,
+  same as the undetected bc bug): the overflow-maintenance branch is
+  evaluated from the very first command, so its non-taken edge's
+  exercise counter reaches NTPathCounterThreshold while the system is
+  still empty and the buggy invariant holds vacuously; by the time
+  completions make the invariant violable, the counter blocks further
+  exploration.
+"""
+
+from __future__ import annotations
+
+from repro.apps.bugs import BugSpec, MissReason
+
+NAME = 'schedule2'
+TOOLS = ('assertions',)
+IS_SIEMENS = True
+
+_BASE_SOURCE = r'''
+/* schedule2 -- round-robin scheduler with admission ring */
+
+int cmds[220];
+int cmd_len = 0;
+
+int ring[16];           /* admission ring buffer of job ids */
+int ring_head = 0;
+int ring_tail = 0;
+int pending = 0;
+
+int suspended[16];
+int suspended_len = 0;
+
+int active = 0;         /* currently dispatched job, 0 = none */
+int next_ticket = 1;
+int submit_count = 0;
+int complete_count = 0;
+int completed_sync = 0; /* maintenance mirror of complete_count */
+int suspend_events = 0;
+int resume_events = 0;
+int rotate_events = 0;
+int drop_count = 0;
+
+void read_commands() {
+  int v = read_int();
+  while (v != -1 && cmd_len < 218) {
+    cmds[cmd_len] = v;
+    cmd_len = cmd_len + 1;
+    v = read_int();
+  }
+  cmds[cmd_len] = 0;
+}
+
+void ring_push(int id) {
+  if (pending >= 15) {
+    drop_count = drop_count + 1;
+    return;
+  }
+  ring[ring_tail] = id;
+  ring_tail = (ring_tail + 1) % 16;
+  pending = pending + 1;
+}
+
+int ring_pop() {
+  int id = ring[ring_head];
+  ring_head = (ring_head + 1) % 16;
+  pending = pending - 1;
+  return id;
+}
+
+/* Periodic maintenance, run before every command. */
+void maintenance() {
+  if (pending > 8) {
+    /*V5*/
+    completed_sync = complete_count;
+    assert(completed_sync >= complete_count, "SCH2_V5_GUARD");
+    /*END5*/
+  }
+}
+
+void cmd_submit(int prio) {
+  int ticket = next_ticket;
+  next_ticket = next_ticket + 1;
+  submit_count = submit_count + 1;
+  /*V2*/
+  ring_push(ticket);
+  /*END2*/
+}
+
+void cmd_dispatch() {
+  if (active != 0) {
+    ring_push(active);
+    active = 0;
+  }
+  if (pending > 0) {
+    active = ring_pop();
+  }
+}
+
+void cmd_suspend() {
+  /*V1*/
+  suspend_events = suspend_events + 1;
+  assert(suspend_events <= submit_count + 1, "SCH2_V1_GUARD");
+  /*END1*/
+  if (active != 0 && suspended_len < 15) {
+    suspended[suspended_len] = active;
+    suspended_len = suspended_len + 1;
+    active = 0;
+  }
+}
+
+void cmd_resume() {
+  /*V3*/
+  resume_events = resume_events + 1;
+  assert(resume_events <= submit_count + 1, "SCH2_V3_GUARD");
+  /*END3*/
+  if (suspended_len > 0) {
+    suspended_len = suspended_len - 1;
+    ring_push(suspended[suspended_len]);
+  }
+}
+
+void cmd_rotate() {
+  /*V4*/
+  rotate_events = rotate_events + 1;
+  assert(rotate_events <= submit_count + 1, "SCH2_V4_GUARD");
+  /*END4*/
+  if (pending > 1) {
+    int id = ring_pop();
+    ring_push(id);
+  }
+}
+
+void cmd_complete() {
+  if (active != 0) {
+    complete_count = complete_count + 1;
+    active = 0;
+  }
+}
+
+void run_commands() {
+  int pos = 0;
+  while (pos < cmd_len) {
+    int cmd = cmds[pos];
+    pos = pos + 1;
+    maintenance();
+    if (cmd == 0) { return; }
+    if (cmd == 1) {
+      int prio = cmds[pos];
+      pos = pos + 1;
+      cmd_submit(prio);
+    }
+    else if (cmd == 2) { cmd_dispatch(); }
+    else if (cmd == 3) { cmd_suspend(); }
+    else if (cmd == 4) { cmd_resume(); }
+    else if (cmd == 5) { cmd_rotate(); }
+    else if (cmd == 6) { cmd_complete(); }
+  }
+}
+
+int main() {
+  read_commands();
+  run_commands();
+  print_int(submit_count);
+  print_int(complete_count);
+  print_int(pending);
+  print_int(suspended_len);
+  print_int(drop_count);
+  return 0;
+}
+'''
+
+_BUG_PATCHES = {
+    1: (
+        '''suspend_events = suspend_events + 1;
+  assert(suspend_events <= submit_count + 1, "SCH2_V1_GUARD");''',
+        '''suspend_events = suspend_events + submit_count + 2;
+  assert(suspend_events <= submit_count + 1, "SCH2_V1");''',
+    ),
+    # v2: value-coverage miss -- the admission logic mishandles only
+    # ticket 61; tickets are sequential and the run issues far fewer.
+    2: (
+        '''ring_push(ticket);
+  /*END2*/''',
+        '''ring_push(ticket);
+  assert(ticket != 61, "SCH2_V2");
+  /*END2*/''',
+    ),
+    3: (
+        '''resume_events = resume_events + 1;
+  assert(resume_events <= submit_count + 1, "SCH2_V3_GUARD");''',
+        '''resume_events = resume_events + submit_count + 2;
+  assert(resume_events <= submit_count + 1, "SCH2_V3");''',
+    ),
+    4: (
+        '''rotate_events = rotate_events + 1;
+  assert(rotate_events <= submit_count + 1, "SCH2_V4_GUARD");''',
+        '''rotate_events = rotate_events + submit_count + 2;
+  assert(rotate_events <= submit_count + 1, "SCH2_V4");''',
+    ),
+    # v5: exercised-edge miss -- the maintenance refresh forgets the
+    # real counter and adds a constant instead.  Harmless while no job
+    # has completed (the first five NT explorations), violable only
+    # later, when the exercise counter already blocks exploration.
+    5: (
+        '''completed_sync = complete_count;
+    assert(completed_sync >= complete_count, "SCH2_V5_GUARD");''',
+        '''completed_sync = completed_sync + 2;
+    assert(completed_sync >= complete_count, "SCH2_V5");''',
+    ),
+}
+
+VERSIONS = {
+    1: [BugSpec('sch2_v1', NAME, True, assert_id='SCH2_V1',
+                description='suspend handler inflates suspend_events')],
+    2: [BugSpec('sch2_v2', NAME, False,
+                miss_reason=MissReason.VALUE_COVERAGE,
+                assert_id='SCH2_V2',
+                description='admission wrong only for ticket 61')],
+    3: [BugSpec('sch2_v3', NAME, True, assert_id='SCH2_V3',
+                description='resume handler inflates resume_events')],
+    4: [BugSpec('sch2_v4', NAME, True, assert_id='SCH2_V4',
+                description='rotate handler inflates rotate_events')],
+    5: [BugSpec('sch2_v5', NAME, False,
+                miss_reason=MissReason.EXERCISED_EDGE,
+                assert_id='SCH2_V5',
+                description='maintenance refresh drifts from '
+                            'complete_count; only violable after '
+                            'completions, when the branch counter '
+                            'already saturated')],
+}
+
+
+def make_source(version=0):
+    source = _BASE_SOURCE
+    if version:
+        if version not in _BUG_PATCHES:
+            raise ValueError('schedule2 has no version %r' % version)
+        correct, buggy = _BUG_PATCHES[version]
+        if correct not in source:
+            raise AssertionError('patch anchor missing for v%d' % version)
+        source = source.replace(correct, buggy)
+    return source
+
+
+def default_input():
+    """Submit/dispatch/complete workload; suspend, resume and rotate
+    never appear.  Completions only start after several commands, so
+    the maintenance branch saturates its counter while the system is
+    still empty (the v5 mechanism)."""
+    ints = []
+    for prio in (1, 0, 2, 1, 2, 0, 1, 1):
+        ints.extend([1, prio, 2])   # submit, dispatch
+    for _ in range(8):
+        ints.extend([6, 2])         # complete, dispatch next
+    ints.append(0)
+    return '', ints
+
+
+def random_input(seed):
+    state = (seed * 16807 + 11) & 0x7FFFFFFF
+    ints = []
+    for _ in range(36):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        choice = state % 6
+        if choice < 2:
+            ints.extend([1, state % 3])
+        elif choice < 4:
+            ints.append(2)
+        else:
+            ints.append(6)
+    ints.append(0)
+    return '', ints

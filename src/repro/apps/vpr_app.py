@@ -1,0 +1,250 @@
+"""vpr_app: a simulated-annealing placer (SPEC 175.vpr analogue).
+
+Places cells on a grid and iteratively proposes swaps, accepting those
+that reduce total wirelength (plus an annealing allowance).  Progress
+is printed every few sweeps, so NT-paths meet unsafe events at a
+moderate rate -- between the go and gzip profiles of Figure 3.
+
+No seeded bugs; vpr is used for the crash-latency, coverage and
+overhead experiments.
+"""
+
+from __future__ import annotations
+
+NAME = 'vpr_app'
+TOOLS = ()
+IS_SIEMENS = False
+VERSIONS = {}
+BUGS = []
+
+_SOURCE = r'''
+/* vpr_app -- grid placement by simulated annealing */
+
+int cell_x[64];
+int cell_y[64];
+int nets[128];          /* 64 net pairs: (a, b) connected cells */
+int net_count = 0;
+
+int grid_w = 12;
+int grid_h = 12;
+int rng_state = 1;
+
+int next_rand() {
+  rng_state = (rng_state * 1103515 + 12345) % 2147483647;
+  if (rng_state < 0) { rng_state = 0 - rng_state; }
+  return rng_state;
+}
+int temperature = 100;
+int accepted = 0;
+int rejected = 0;
+int sweeps = 0;
+int strategy = 0;       /* 0 single-move, 1 pair-swap, 2 row-rotate */
+int do_route = 0;       /* run the congestion estimate each sweep */
+int congestion[144];
+int overflow_links = 0;
+int swap_moves = 0;
+int rotate_moves = 0;
+
+void init_placement() {
+  int n = read_int();
+  if (n < 8) { n = 8; }
+  if (n > 64) { n = 64; }
+  rng_state = read_int();
+  if (rng_state < 1) { rng_state = 1; }
+  for (int i = 0; i < n; i = i + 1) {
+    cell_x[i] = next_rand() % grid_w;
+    cell_y[i] = next_rand() % grid_h;
+  }
+  net_count = 0;
+  int pair = read_int();
+  while (pair != -1 && net_count < 63) {
+    int other = read_int();
+    if (other == -1) { break; }
+    nets[net_count * 2] = pair % n;
+    nets[net_count * 2 + 1] = other % n;
+    net_count = net_count + 1;
+    pair = read_int();
+  }
+  sweeps = read_int();
+  if (sweeps < 1) { sweeps = 4; }
+  if (sweeps > 60) { sweeps = 60; }
+  strategy = read_int();
+  if (strategy < 0 || strategy > 2) { strategy = 0; }
+  do_route = read_int();
+  if (do_route != 1) { do_route = 0; }
+}
+
+/* swaps the placements of two cells if that lowers cost */
+void pair_swap(int n) {
+  int a = next_rand() % n;
+  int b = next_rand() % n;
+  if (a == b) { return; }
+  int before = move_delta(a, cell_x[b], cell_y[b]);
+  int tx = cell_x[a];
+  int ty = cell_y[a];
+  cell_x[a] = cell_x[b];
+  cell_y[a] = cell_y[b];
+  int after = move_delta(b, tx, ty);
+  if (before + after <= 0) {
+    cell_x[b] = tx;
+    cell_y[b] = ty;
+    swap_moves = swap_moves + 1;
+    accepted = accepted + 1;
+  } else {
+    cell_x[a] = tx;
+    cell_y[a] = ty;
+    rejected = rejected + 1;
+  }
+}
+
+/* rotates every cell in one row a column to the right */
+void row_rotate(int n) {
+  int row = next_rand() % grid_h;
+  for (int i = 0; i < n; i = i + 1) {
+    if (cell_y[i] == row) {
+      cell_x[i] = (cell_x[i] + 1) % grid_w;
+      rotate_moves = rotate_moves + 1;
+    }
+  }
+}
+
+/* bounding-box congestion estimate over the routing grid */
+void estimate_congestion() {
+  for (int i = 0; i < 144; i = i + 1) { congestion[i] = 0; }
+  for (int i = 0; i < net_count; i = i + 1) {
+    int a = nets[i * 2];
+    int b = nets[i * 2 + 1];
+    int x0 = cell_x[a];
+    int x1 = cell_x[b];
+    if (x0 > x1) { int t = x0; x0 = x1; x1 = t; }
+    int y0 = cell_y[a];
+    int y1 = cell_y[b];
+    if (y0 > y1) { int t = y0; y0 = y1; y1 = t; }
+    for (int y = y0; y <= y1; y = y + 1) {
+      for (int x = x0; x <= x1; x = x + 1) {
+        congestion[y * grid_w + x] = congestion[y * grid_w + x] + 1;
+      }
+    }
+  }
+  overflow_links = 0;
+  for (int i = 0; i < 144; i = i + 1) {
+    if (congestion[i] > 4) {
+      overflow_links = overflow_links + 1;
+    }
+  }
+}
+
+int net_length(int a, int b) {
+  int dx = cell_x[a] - cell_x[b];
+  int dy = cell_y[a] - cell_y[b];
+  if (dx < 0) { dx = 0 - dx; }
+  if (dy < 0) { dy = 0 - dy; }
+  return dx + dy;
+}
+
+int total_cost() {
+  int cost = 0;
+  for (int i = 0; i < net_count; i = i + 1) {
+    cost = cost + net_length(nets[i * 2], nets[i * 2 + 1]);
+  }
+  return cost;
+}
+
+/* cost delta if cell moves to (nx, ny) */
+int move_delta(int cell, int nx, int ny) {
+  int before = 0;
+  int after = 0;
+  int ox = cell_x[cell];
+  int oy = cell_y[cell];
+  for (int i = 0; i < net_count; i = i + 1) {
+    int a = nets[i * 2];
+    int b = nets[i * 2 + 1];
+    if (a == cell || b == cell) {
+      before = before + net_length(a, b);
+      cell_x[cell] = nx;
+      cell_y[cell] = ny;
+      after = after + net_length(a, b);
+      cell_x[cell] = ox;
+      cell_y[cell] = oy;
+    }
+  }
+  return after - before;
+}
+
+void one_sweep(int n) {
+  for (int t = 0; t < n; t = t + 1) {
+    int cell = next_rand() % n;
+    int nx = next_rand() % grid_w;
+    int ny = next_rand() % grid_h;
+    int delta = move_delta(cell, nx, ny);
+    int allowance = temperature / 10;
+    if (delta <= allowance) {
+      cell_x[cell] = nx;
+      cell_y[cell] = ny;
+      accepted = accepted + 1;
+    } else {
+      rejected = rejected + 1;
+    }
+  }
+  if (temperature > 5) {
+    temperature = temperature - 5;
+  }
+}
+
+int main() {
+  init_placement();
+  int n = net_count + 8;
+  if (n > 64) { n = 64; }
+  for (int s = 0; s < sweeps; s = s + 1) {
+    if (strategy == 1) {
+      pair_swap(n);
+    } else if (strategy == 2) {
+      row_rotate(n);
+    }
+    one_sweep(n);
+    if (do_route == 1) {
+      estimate_congestion();
+    }
+    if (s % 4 == 0) {
+      print_int(total_cost());
+    }
+  }
+  print_int(accepted);
+  print_int(rejected);
+  print_int(total_cost());
+  print_int(overflow_links + swap_moves + rotate_moves);
+  return 0;
+}
+'''
+
+
+def make_source(version=0):
+    if version not in (0, -1):
+        raise ValueError('vpr_app has no version %r' % version)
+    return _SOURCE
+
+
+def default_input():
+    ints = [32, 99]
+    state = 777
+    for _ in range(40):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        ints.append(state % 32)
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        ints.append(state % 32)
+    ints.append(-1)
+    ints.extend([24, 0, 0])  # sweeps, strategy, do_route
+    return '', ints
+
+
+def random_input(seed):
+    state = (seed * 747796405 + 31) & 0x7FFFFFFF
+    ints = [16 + state % 48, 1 + state % 1000]
+    for _ in range(20 + seed % 20):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        ints.append(state % 64)
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        ints.append(state % 64)
+    ints.append(-1)
+    ints.extend([8 + seed % 16, 0, 0])
+    return '', ints

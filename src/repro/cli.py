@@ -1,0 +1,211 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run FILE.mc [--detector ccured] [--mode standard]
+                                [--input TEXT] [--ints 1,2,3] [--trace]
+    python -m repro disasm FILE.mc [--function NAME]
+    python -m repro apps
+    python -m repro bugs APP [--version N]
+    python -m repro experiment ID            # table2..table6, fig3...
+    python -m repro report [PATH]            # regenerate EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.bugs import classify_reports
+from repro.apps.registry import ALL_APPS, get_app
+from repro.core.config import Mode, PathExpanderConfig
+from repro.core.runner import make_detector, run_program
+from repro.harness import experiments
+from repro.harness.trace import TracedRun
+from repro.isa.disasm import disassemble, function_listing
+from repro.minic.codegen import compile_minic
+
+EXPERIMENT_RUNNERS = {
+    'table2': experiments.run_table2,
+    'table3': experiments.run_table3,
+    'table4': experiments.run_table4,
+    'table5': experiments.run_table5,
+    'fig3': lambda: experiments.run_fig3()[0],
+    'fig7': experiments.run_fig7,
+    'fig8': experiments.run_fig8,
+    'fig9': experiments.run_fig9,
+    'table6': experiments.run_table6,
+    'fig10': experiments.run_fig10,
+    'abl1': experiments.run_ablation_nt_from_nt,
+    'ext1': experiments.run_ext_os_sandbox,
+    'ext2': experiments.run_ext_random_selection,
+    'val1': experiments.run_val_cmp_model,
+}
+
+
+def _parse_ints(text):
+    if not text:
+        return []
+    return [int(piece) for piece in text.split(',')]
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog='repro',
+        description='PathExpander reproduction (MICRO 2006)')
+    sub = parser.add_subparsers(dest='command', required=True)
+
+    run_cmd = sub.add_parser('run', help='compile and run a MiniC file')
+    run_cmd.add_argument('file')
+    run_cmd.add_argument('--detector', default='ccured',
+                         choices=['none', 'ccured', 'iwatcher',
+                                  'assertions'])
+    run_cmd.add_argument('--mode', default=Mode.STANDARD,
+                         choices=list(Mode.ALL))
+    run_cmd.add_argument('--input', default='',
+                         help='text served to getc()')
+    run_cmd.add_argument('--ints', default='',
+                         help='comma-separated ints for read_int()')
+    run_cmd.add_argument('--trace', action='store_true',
+                         help='print the NT-path event log')
+    run_cmd.add_argument('--no-fixing', action='store_true',
+                         help='disable variable fixing (Section 4.4)')
+
+    disasm_cmd = sub.add_parser('disasm',
+                                help='disassemble a MiniC file')
+    disasm_cmd.add_argument('file')
+    disasm_cmd.add_argument('--function', default=None)
+
+    sub.add_parser('apps', help='list the benchmark applications')
+
+    bugs_cmd = sub.add_parser('bugs',
+                              help='run one buggy app and classify')
+    bugs_cmd.add_argument('app')
+    bugs_cmd.add_argument('--version', type=int, default=0)
+
+    exp_cmd = sub.add_parser('experiment', help='run one experiment')
+    exp_cmd.add_argument('id', choices=sorted(EXPERIMENT_RUNNERS))
+    exp_cmd.add_argument('--plot', action='store_true',
+                         help='render ASCII charts (fig3, fig7)')
+
+    report_cmd = sub.add_parser('report',
+                                help='regenerate EXPERIMENTS.md')
+    report_cmd.add_argument('path', nargs='?', default='EXPERIMENTS.md')
+    return parser
+
+
+def _cmd_run(args):
+    with open(args.file) as handle:
+        source = handle.read()
+    program = compile_minic(source, name=args.file)
+    config = PathExpanderConfig(
+        mode=args.mode, variable_fixing=not args.no_fixing,
+        collect_nt_details=args.trace)
+    detector = make_detector(args.detector)
+    if args.trace:
+        traced = TracedRun(program, detector=detector, config=config,
+                           text_input=args.input,
+                           int_input=_parse_ints(args.ints))
+        result = traced.run()
+        print(traced.format(limit=60))
+    else:
+        result = run_program(program, detector=detector, config=config,
+                             text_input=args.input,
+                             int_input=_parse_ints(args.ints))
+        print(result)
+    if result.output:
+        print('--- program output ---')
+        sys.stdout.write(result.output)
+    for report in result.reports:
+        print('REPORT: %r' % report)
+    return 0
+
+
+def _cmd_disasm(args):
+    with open(args.file) as handle:
+        source = handle.read()
+    program = compile_minic(source, name=args.file)
+    if args.function:
+        print(function_listing(program, args.function))
+    else:
+        print(disassemble(program))
+    return 0
+
+
+def _cmd_apps(_args):
+    print('%-14s %-28s %-9s %s' % ('name', 'tools', 'versions',
+                                   'tested bugs'))
+    for name in sorted(ALL_APPS):
+        app = ALL_APPS[name]
+        bug_count = sum((2 if bug.is_memory_bug else 1)
+                        for bugs in app.versions.values()
+                        for bug in bugs)
+        print('%-14s %-28s %-9d %d'
+              % (name, '+'.join(app.tools) or '-', len(app.versions),
+                 bug_count))
+    return 0
+
+
+def _cmd_bugs(args):
+    app = get_app(args.app)
+    program = app.compile(args.version)
+    bugs = app.bugs(args.version)
+    text, ints = app.default_input()
+    detector_name = app.tools[0] if app.tools else 'none'
+    for mode in (Mode.BASELINE, Mode.STANDARD):
+        result = run_program(program,
+                             detector=make_detector(detector_name),
+                             config=app.make_config(mode=mode),
+                             text_input=text, int_input=ints)
+        found, false_positives = classify_reports(result.reports, bugs)
+        print('%-9s detected=%s false-positives=%d NT-paths=%d'
+              % (mode, sorted(found) or '[]', len(false_positives),
+                 result.nt_spawned))
+    for bug in bugs:
+        status = 'expected DETECTED' if bug.expected_detected else \
+            'expected MISSED (%s)' % bug.miss_reason
+        print('  %-12s %s -- %s' % (bug.bug_id, status,
+                                    bug.description))
+    return 0
+
+
+def _cmd_experiment(args):
+    if args.plot and args.id == 'fig3':
+        from repro.harness.plots import fig3_plot
+        result, details = experiments.run_fig3()
+        print(result.format())
+        print()
+        print(fig3_plot(details))
+        return 0
+    result = EXPERIMENT_RUNNERS[args.id]()
+    print(result.format())
+    if args.plot and args.id == 'fig7':
+        from repro.harness.plots import coverage_bars
+        print()
+        print(coverage_bars(result.rows))
+    return 0
+
+
+def _cmd_report(args):
+    from repro.harness.generate_report import main as report_main
+    report_main([args.path])
+    return 0
+
+
+_COMMANDS = {
+    'run': _cmd_run,
+    'disasm': _cmd_disasm,
+    'apps': _cmd_apps,
+    'bugs': _cmd_bugs,
+    'experiment': _cmd_experiment,
+    'report': _cmd_report,
+}
+
+
+def main(argv=None):
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == '__main__':
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""PathExpander itself: configuration, engines, runner."""
+
+from repro.core.config import Mode, PathExpanderConfig
+from repro.core.engine import PathExpanderEngine
+from repro.core.result import NTPathTermination, RunResult
+from repro.core.runner import (make_detector, run_program, run_source,
+                               run_with_and_without)
+
+__all__ = ['Mode', 'PathExpanderConfig', 'PathExpanderEngine',
+           'RunResult', 'NTPathTermination', 'run_program', 'run_source',
+           'run_with_and_without', 'make_detector']

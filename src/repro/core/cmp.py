@@ -1,0 +1,77 @@
+"""CMP-optimisation scheduling model (Section 4.3).
+
+Functionally, an NT-path reads exactly the memory state that existed at
+its spawn point (its parent segment's version), and its effects vanish
+on squash.  Executing the NT-path *inline at the spawn point* therefore
+produces bit-identical detection and coverage results to a truly
+parallel execution -- what the CMP option changes is only *where the cycles go*.
+
+This module models the "where": NT-paths occupy idle cores while the
+primary core pays only the 20-cycle register-copy spawn overhead.  The
+engine executes each NT-path inline (for functional fidelity), measures
+its duration on a cold per-core cache, and hands the duration to this
+scheduler, which places it on the idle-core timeline:
+
+* ``num_cores - 1`` cores are available for NT-paths;
+* at most ``MaxNumNTPaths`` may be outstanding -- beyond that the
+  non-taken edge is simply not spawned (paper behaviour);
+* if every core is busy but a slot is free, the path queues in a free
+  thread context behind the earliest completion (approximation: queued
+  paths stack behind the current earliest end; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class CmpScheduler:
+
+    def __init__(self, num_cores, max_num_nt_paths, spawn_overhead,
+                 squash_overhead):
+        if num_cores < 2:
+            raise ValueError('CMP optimisation needs at least 2 cores')
+        self.nt_cores = num_cores - 1
+        self.max_paths = max_num_nt_paths
+        self.spawn_overhead = spawn_overhead
+        self.squash_overhead = squash_overhead
+        self._core_free = []      # heap of per-core availability times
+        self._ends = []           # heap of outstanding NT end times
+        self.last_end = 0
+        self.queued = 0
+        self.peak_outstanding = 0
+
+    def _expire(self, now):
+        ends = self._ends
+        while ends and ends[0] <= now:
+            heapq.heappop(ends)
+
+    def slot_free(self, now):
+        """Is a thread context available at primary-core time ``now``?
+        (Paths beyond the core count queue in free thread contexts, up
+        to MaxNumNTPaths outstanding.)"""
+        self._expire(now)
+        return len(self._ends) < self.max_paths
+
+    def commit(self, now, duration):
+        """Place a measured NT-path on the idle-core timeline.
+
+        Each of the ``num_cores - 1`` NT cores is modelled by its next
+        availability time; a queued path starts when the earliest core
+        frees (matching the detailed engine's thread-context queue)."""
+        self._expire(now)
+        start = now + self.spawn_overhead
+        if len(self._core_free) < self.nt_cores:
+            heapq.heappush(self._core_free, 0)
+        earliest = heapq.heappop(self._core_free)
+        if earliest > start:
+            start = earliest
+            self.queued += 1
+        end = start + duration + self.squash_overhead
+        heapq.heappush(self._core_free, end)
+        heapq.heappush(self._ends, end)
+        if len(self._ends) > self.peak_outstanding:
+            self.peak_outstanding = len(self._ends)
+        if end > self.last_end:
+            self.last_end = end
+        return end

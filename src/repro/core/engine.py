@@ -1,0 +1,270 @@
+"""The PathExpander execution engine.
+
+One engine drives all four modes:
+
+* **baseline** -- run the program under the dynamic detector only;
+* **standard** -- Fig. 4(a): at every selected branch, checkpoint, run
+  the non-taken path in the sandbox, squash, resume (serialised, so
+  NT-path cycles land on the primary core);
+* **cmp** -- Fig. 4(b): identical functional behaviour, but NT-path
+  cycles are placed on idle cores by :class:`~repro.core.cmp.CmpScheduler`
+  and the primary core pays only the spawn overhead;
+* **software** -- Section 5: identical algorithm; the run is re-costed
+  with the PIN-style instrumentation model afterwards (see
+  :mod:`repro.core.software`).
+"""
+
+from __future__ import annotations
+
+from repro.btb.btb import BranchTargetBuffer
+from repro.core.cmp import CmpScheduler
+from repro.core.config import Mode, PathExpanderConfig
+from repro.core.result import NTPathRecord, NTPathTermination, RunResult
+from repro.core.selector import NTPathSelector
+from repro.coverage.tracker import CoverageTracker
+from repro.cpu.exceptions import ProgramExit, SimFault
+from repro.cpu.interpreter import Interpreter
+from repro.cpu.state import Core
+from repro.cpu.syscalls import IOContext
+from repro.cpu.timing import CostModel
+from repro.memory.allocator import HeapAllocator
+from repro.memory.cache import Cache
+from repro.memory.checkpoint import Checkpoint
+from repro.memory.main_memory import MainMemory
+
+_NT_VERSION = 1
+
+
+class PathExpanderEngine:
+
+    def __init__(self, program, detector=None, config=None, io=None,
+                 memory_words=1 << 20, stack_words=1 << 16):
+        self.program = program
+        self.detector = detector
+        self.config = config or PathExpanderConfig()
+        self.io = io or IOContext()
+
+        self.memory = MainMemory(size=memory_words,
+                                 globals_size=program.globals_size,
+                                 stack_words=stack_words)
+        for addr, value in program.data_image.items():
+            self.memory.cells[addr] = value
+        self.allocator = HeapAllocator(self.memory.heap_base,
+                                       self.memory.stack_limit)
+        self.core = Core()
+        self.core.reset(program.entry, self.memory.stack_top)
+
+        cfg = self.config
+        self.costs = CostModel(l1_hit=cfg.l1_hit_latency,
+                               l2_hit=cfg.l2_hit_latency,
+                               spawn_overhead=cfg.spawn_overhead,
+                               squash_overhead=cfg.squash_overhead)
+        if cfg.enable_cache_model:
+            self.cache = Cache(size_bytes=cfg.l1_size_bytes,
+                               ways=cfg.l1_ways,
+                               line_bytes=cfg.l1_line_bytes,
+                               hit_latency=cfg.l1_hit_latency,
+                               miss_latency=cfg.l2_hit_latency)
+        else:
+            self.cache = None
+        self.btb = BranchTargetBuffer(entries=cfg.btb_entries,
+                                      ways=cfg.btb_ways)
+        self.coverage = CoverageTracker(program)
+        self.selector = NTPathSelector(self.btb, cfg)
+        self.scheduler = None
+        if cfg.mode == Mode.CMP:
+            self.scheduler = CmpScheduler(cfg.num_cores,
+                                          cfg.max_num_nt_paths,
+                                          cfg.spawn_overhead,
+                                          cfg.squash_overhead)
+
+        if detector is not None and hasattr(detector, 'attach'):
+            detector.attach(program, self.memory, self.allocator)
+
+        self.interp = Interpreter(program, self.memory, self.allocator,
+                                  self.core, self.io, self.costs,
+                                  cache=self.cache, detector=detector,
+                                  on_branch=self._on_branch)
+        self.interp.sandbox_unsafe = cfg.sandbox_unsafe_events
+        self.result = RunResult(program, self.config, detector)
+        self.result.total_edges = program.num_edges
+        self._in_nt = False
+        self._spawning = cfg.spawning_enabled
+        self._nt_cache_pool = None
+        self._nt_forced_edges = set()
+        self.nt_store_count = 0
+
+    # ==================================================================
+
+    def run(self):
+        """Execute the monitored run; returns the :class:`RunResult`."""
+        result = self.result
+        core = self.core
+        interp = self.interp
+        limit = self.config.max_instructions
+        try:
+            while True:
+                interp.step()
+                if core.instret >= limit:
+                    result.truncated = True
+                    break
+        except ProgramExit as exit_:
+            result.exit_code = exit_.code
+        except SimFault as fault:
+            result.crashed = True
+            result.crash_kind = fault.kind
+        self._finalize()
+        return result
+
+    def _finalize(self):
+        result = self.result
+        result.instret_taken = self.core.instret - result.instret_nt
+        result.primary_cycles = self.core.cycles
+        if self.scheduler is not None:
+            result.cycles = max(self.core.cycles, self.scheduler.last_end)
+        else:
+            result.cycles = self.core.cycles
+        result.baseline_covered = self.coverage.baseline_covered
+        result.total_covered = self.coverage.total_covered
+        result.taken_edges = self.coverage.taken_edge_keys
+        result.covered_edges = self.coverage.covered_edge_keys
+        if self.detector is not None:
+            result.reports = list(self.detector.reports)
+        result.output = self.io.output_text
+        result.int_output = list(self.io.int_output)
+        result.nt_store_count = self.nt_store_count
+
+    # ==================================================================
+    # branch handling: coverage, BTB, NT-path spawning
+
+    def _on_branch(self, addr, taken, instr):
+        if self._in_nt:
+            self.result.nt_branch_count += 1
+            self.coverage.record(addr, taken, True)
+            if self.config.explore_nt_from_nt:
+                self._maybe_force_edge(addr, taken, instr)
+            return
+        self.result.taken_branch_count += 1
+        self.coverage.record(addr, taken, False)
+        self.btb.record_edge(addr, taken)
+        if not self._spawning:
+            return
+        self.selector.observe_retired(self.core.instret)
+        if self.scheduler is not None \
+                and not self.scheduler.slot_free(self.core.cycles):
+            self.result.nt_skipped_busy += 1
+            return
+        nt_taken = not taken
+        if self.selector.should_spawn(addr, nt_taken):
+            target = instr.b if nt_taken else addr + 1
+            self._run_nt_path(addr, nt_taken, target)
+
+    def _maybe_force_edge(self, addr, taken, instr):
+        """Ablation (Section 4.2(3)): explore non-taken edges *from*
+        NT-paths by forcing each not-yet-covered opposite edge once.
+
+        The forced direction compounds the state inconsistency (no
+        variable fix is applied), which is why the paper measured a
+        much higher early-crash ratio with this policy and rejected it.
+        """
+        other = not taken
+        key = (addr, other)
+        if key in self._nt_forced_edges:
+            return
+        if self.btb.edge_count(addr, other) == 0:
+            self._nt_forced_edges.add(key)
+            self.core.pc = instr.b if other else addr + 1
+            self.coverage.record(addr, other, True)
+
+    # ==================================================================
+    # NT-path lifecycle (Section 4.2(2)-(3))
+
+    def _run_nt_path(self, branch_addr, edge_taken, target):
+        config = self.config
+        core = self.core
+        interp = self.interp
+        result = self.result
+
+        result.nt_spawned += 1
+        # The forced edge itself is executed (in the sandbox) and
+        # therefore observed by the detector: it counts as covered.
+        self.coverage.record(branch_addr, edge_taken, True)
+        cycles_at_spawn = core.cycles
+        instret_at_spawn = core.instret
+        stores_at_spawn = interp.store_count
+
+        checkpoint = Checkpoint(core, self.allocator)
+        self.memory.begin_journal()
+        io_snapshot = self.io.snapshot() \
+            if config.sandbox_unsafe_events else None
+        saved_cache = interp.cache
+        if self.scheduler is not None and interp.cache is not None:
+            interp.cache = self._borrow_nt_cache()
+
+        core.pc = target
+        core.pred = config.variable_fixing
+        interp.in_nt_path = True
+        interp.cache_version = _NT_VERSION
+        self._in_nt = True
+        self._nt_forced_edges.clear()
+
+        reason = NTPathTermination.LENGTH
+        max_len = config.max_nt_path_length
+        try:
+            while core.instret - instret_at_spawn < max_len:
+                event = interp.step()
+                if event is not None:
+                    reason = (NTPathTermination.UNSAFE
+                              if event == 'unsafe'
+                              else NTPathTermination.OVERFLOW)
+                    break
+        except SimFault:
+            reason = NTPathTermination.CRASH
+        except ProgramExit:
+            reason = NTPathTermination.PROGRAM_END
+
+        length = core.instret - instret_at_spawn
+        nt_cycles = core.cycles - cycles_at_spawn
+        self.nt_store_count += interp.store_count - stores_at_spawn
+
+        # squash: memory rollback, register/allocator restore,
+        # gang-invalidation of volatile cache lines
+        entries = self.memory.rollback()
+        result.journal_entries_total += entries
+        checkpoint.restore(core, self.allocator)
+        if io_snapshot is not None:
+            self.io.restore(io_snapshot)
+        self._in_nt = False
+        interp.in_nt_path = False
+        interp.cache_version = 0
+
+        if self.scheduler is not None:
+            if interp.cache is not None:
+                interp.cache = saved_cache
+            core.cycles = cycles_at_spawn + config.spawn_overhead
+            self.scheduler.commit(cycles_at_spawn, nt_cycles)
+        else:
+            if interp.cache is not None:
+                interp.cache.gang_invalidate(_NT_VERSION)
+            core.cycles = (cycles_at_spawn + config.spawn_overhead
+                           + nt_cycles + config.squash_overhead)
+
+        result.instret_nt += length
+        result.count_termination(reason)
+        if config.collect_nt_details:
+            result.nt_details.append(NTPathRecord(
+                branch_addr, edge_taken, length, reason,
+                instret_at_spawn))
+
+    def _borrow_nt_cache(self):
+        """A cold L1 for the idle core running this NT-path (CMP)."""
+        if self._nt_cache_pool is None:
+            cfg = self.config
+            self._nt_cache_pool = Cache(
+                size_bytes=cfg.l1_size_bytes, ways=cfg.l1_ways,
+                line_bytes=cfg.l1_line_bytes,
+                hit_latency=cfg.l1_hit_latency,
+                miss_latency=cfg.l2_hit_latency)
+        else:
+            self._nt_cache_pool.reset()
+        return self._nt_cache_pool

@@ -1,0 +1,106 @@
+"""Run statistics containers."""
+
+from __future__ import annotations
+
+
+class NTPathTermination:
+    LENGTH = 'length'          # reached MaxNTPathLength
+    CRASH = 'crash'            # machine fault, swallowed
+    UNSAFE = 'unsafe'          # unsafe event (syscall) reached
+    OVERFLOW = 'overflow'      # L1 could not buffer more volatile lines
+    PROGRAM_END = 'program_end'
+
+    ALL = (LENGTH, CRASH, UNSAFE, OVERFLOW, PROGRAM_END)
+
+
+class NTPathRecord:
+    """Per-NT-path detail (only kept when collect_nt_details is set)."""
+
+    __slots__ = ('branch_addr', 'edge_taken', 'length', 'reason',
+                 'spawn_instret')
+
+    def __init__(self, branch_addr, edge_taken, length, reason,
+                 spawn_instret):
+        self.branch_addr = branch_addr
+        self.edge_taken = edge_taken
+        self.length = length
+        self.reason = reason
+        self.spawn_instret = spawn_instret
+
+
+class RunResult:
+    """Everything a monitored run produced."""
+
+    def __init__(self, program, config, detector):
+        self.program_name = program.name
+        self.mode = config.mode
+        self.detector_name = detector.name if detector else 'none'
+        # timing
+        self.cycles = 0                 # total modelled cycles
+        self.primary_cycles = 0         # taken-path core cycles (CMP)
+        self.instret_taken = 0
+        self.instret_nt = 0
+        # NT-path statistics
+        self.nt_spawned = 0
+        self.nt_skipped_busy = 0        # CMP: MaxNumNTPaths reached
+        self.nt_terminations = {}       # reason -> count
+        self.nt_details = []            # NTPathRecord list (optional)
+        self.nt_store_count = 0
+        self.nt_branch_count = 0
+        self.taken_branch_count = 0
+        self.journal_entries_total = 0
+        self.forced_segment_commits = 0
+        # coverage
+        self.total_edges = 0
+        self.baseline_covered = 0
+        self.total_covered = 0
+        self.taken_edges = set()      # edge keys covered by the taken path
+        self.covered_edges = set()    # edge keys covered incl. NT-paths
+        # detection
+        self.reports = []
+        # program outcome
+        self.output = ''
+        self.int_output = []
+        self.exit_code = None
+        self.crashed = False
+        self.crash_kind = None
+        self.truncated = False          # hit max_instructions
+
+    # ------------------------------------------------------------------
+
+    @property
+    def baseline_coverage(self):
+        return self.baseline_covered / self.total_edges \
+            if self.total_edges else 0.0
+
+    @property
+    def total_coverage(self):
+        return self.total_covered / self.total_edges \
+            if self.total_edges else 0.0
+
+    @property
+    def nt_reports(self):
+        return [r for r in self.reports if r.in_nt_path]
+
+    @property
+    def taken_reports(self):
+        return [r for r in self.reports if not r.in_nt_path]
+
+    def count_termination(self, reason):
+        self.nt_terminations[reason] = \
+            self.nt_terminations.get(reason, 0) + 1
+
+    def overhead_vs(self, baseline_result):
+        """Relative execution overhead against a baseline run."""
+        base = baseline_result.cycles
+        if base == 0:
+            return 0.0
+        return (self.cycles - base) / base
+
+    def __repr__(self):
+        return ('<RunResult %s/%s/%s: %d cycles, %d NT-paths, '
+                'coverage %.1f%%->%.1f%%, %d reports>' % (
+                    self.program_name, self.mode, self.detector_name,
+                    self.cycles, self.nt_spawned,
+                    100 * self.baseline_coverage,
+                    100 * self.total_coverage, len(self.reports)))

@@ -1,0 +1,101 @@
+"""Top-level public API: compile and run programs under PathExpander."""
+
+from __future__ import annotations
+
+from repro.core.config import Mode, PathExpanderConfig
+from repro.core.engine import PathExpanderEngine
+from repro.core.software import apply_software_costs
+from repro.cpu.syscalls import IOContext
+from repro.detectors.assertions import AssertionDetector
+from repro.detectors.ccured import CCuredDetector
+from repro.detectors.iwatcher import IWatcherDetector
+from repro.minic.codegen import compile_minic
+
+DETECTOR_FACTORIES = {
+    'none': lambda: None,
+    'ccured': CCuredDetector,
+    'iwatcher': IWatcherDetector,
+    'assertions': AssertionDetector,
+}
+
+
+def make_detector(name):
+    """Instantiate a detector by name ('ccured', 'iwatcher',
+    'assertions' or 'none')."""
+    if name not in DETECTOR_FACTORIES:
+        raise ValueError('unknown detector %r (choose from %s)'
+                         % (name, sorted(DETECTOR_FACTORIES)))
+    return DETECTOR_FACTORIES[name]()
+
+
+def run_program(program, detector=None, config=None, text_input='',
+                int_input=None, memory_words=1 << 20):
+    """Run a compiled program under a dynamic detector.
+
+    Args:
+        program: a :class:`~repro.isa.program.Program`.
+        detector: a detector instance, a detector name, or ``None``.
+        config: a :class:`PathExpanderConfig`; defaults to the paper's
+            standard configuration.
+        text_input: characters served to the GETC syscall.
+        int_input: integers served to the READ_INT syscall.
+
+    Returns:
+        a :class:`~repro.core.result.RunResult`.
+    """
+    if isinstance(detector, str):
+        detector = make_detector(detector)
+    config = config or PathExpanderConfig()
+    io = IOContext(text_input=text_input, int_input=int_input)
+    engine = PathExpanderEngine(program, detector=detector, config=config,
+                                io=io, memory_words=memory_words)
+    result = engine.run()
+    if config.mode == Mode.SOFTWARE:
+        apply_software_costs(result, config)
+    return result
+
+
+def run_detailed_cmp(program, detector=None, config=None, text_input='',
+                     int_input=None, memory_words=1 << 20):
+    """Run under the *detailed* CMP engine (true core interleaving).
+
+    Functionally equivalent to ``mode='cmp'`` but simulates the Fig. 6
+    segment/version protocol cycle by cycle instead of modelling
+    NT-path placement; used to validate the scheduling model.
+    """
+    from repro.core.cmp_detailed import DetailedCmpEngine
+    if isinstance(detector, str):
+        detector = make_detector(detector)
+    config = (config or PathExpanderConfig(mode=Mode.CMP))
+    if config.mode != Mode.CMP:
+        config = config.replace(mode=Mode.CMP)
+    io = IOContext(text_input=text_input, int_input=int_input)
+    engine = DetailedCmpEngine(program, detector=detector, config=config,
+                               io=io, memory_words=memory_words)
+    return engine.run()
+
+
+def run_source(source, detector=None, config=None, text_input='',
+               int_input=None, name='program'):
+    """Compile MiniC source and run it (convenience wrapper)."""
+    program = compile_minic(source, name=name)
+    return run_program(program, detector=detector, config=config,
+                       text_input=text_input, int_input=int_input)
+
+
+def run_with_and_without(program, detector_name, config=None,
+                         text_input='', int_input=None):
+    """Run baseline and PathExpander side by side (fresh detectors).
+
+    Returns ``(baseline_result, pathexpander_result)`` -- the format
+    every Table 4-style comparison in the paper uses.
+    """
+    config = config or PathExpanderConfig()
+    baseline = run_program(
+        program, detector=make_detector(detector_name),
+        config=config.replace(mode=Mode.BASELINE),
+        text_input=text_input, int_input=int_input)
+    expanded = run_program(
+        program, detector=make_detector(detector_name), config=config,
+        text_input=text_input, int_input=int_input)
+    return baseline, expanded

@@ -1,0 +1,91 @@
+"""Branch-coverage measurement.
+
+The paper's design targets *path* coverage but, like the paper
+(Section 2), we report **branch coverage**: the fraction of a program's
+static branch edges executed in the monitored run.  Edges executed
+inside NT-paths count -- they are observed by the dynamic detector,
+which is the point of PathExpander.
+"""
+
+from __future__ import annotations
+
+
+class CoverageTracker:
+    """Tracks executed branch edges for one program."""
+
+    def __init__(self, program):
+        self.program = program
+        self.total_edges = program.num_edges
+        self._taken_path_edges = set()
+        self._nt_path_edges = set()
+
+    def record(self, branch_addr, taken, in_nt_path):
+        key = (branch_addr, taken)
+        if in_nt_path:
+            self._nt_path_edges.add(key)
+        else:
+            self._taken_path_edges.add(key)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def baseline_covered(self):
+        """Edges the monitored run covered without PathExpander."""
+        return len(self._taken_path_edges)
+
+    @property
+    def total_covered(self):
+        return len(self._taken_path_edges | self._nt_path_edges)
+
+    @property
+    def baseline_coverage(self):
+        if self.total_edges == 0:
+            return 0.0
+        return self.baseline_covered / self.total_edges
+
+    @property
+    def total_coverage(self):
+        if self.total_edges == 0:
+            return 0.0
+        return self.total_covered / self.total_edges
+
+    @property
+    def covered_edge_keys(self):
+        return self._taken_path_edges | self._nt_path_edges
+
+    @property
+    def taken_edge_keys(self):
+        return set(self._taken_path_edges)
+
+    def merge_into(self, cumulative):
+        """Union this run's edges into a :class:`CumulativeCoverage`."""
+        cumulative.add(self._taken_path_edges, self._nt_path_edges)
+
+
+class CumulativeCoverage:
+    """Coverage accumulated over multiple inputs (Section 7 multi-input
+    experiment: the union over 50 test cases)."""
+
+    def __init__(self, program):
+        self.total_edges = program.num_edges
+        self._taken = set()
+        self._all = set()
+        self.runs = 0
+
+    def add(self, taken_edges, nt_edges):
+        self._taken |= taken_edges
+        self._all |= taken_edges
+        self._all |= nt_edges
+        self.runs += 1
+
+    @property
+    def baseline_coverage(self):
+        if self.total_edges == 0:
+            return 0.0
+        return len(self._taken) / self.total_edges
+
+    @property
+    def total_coverage(self):
+        if self.total_edges == 0:
+            return 0.0
+        return len(self._all) / self.total_edges

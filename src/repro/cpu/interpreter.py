@@ -1,0 +1,264 @@
+"""The execution core: instruction semantics + cost accounting.
+
+The interpreter executes one instruction per :meth:`Interpreter.step`.
+PathExpander's engines own the fetch loop; they observe branches through
+the ``on_branch`` callback (where NT-path spawning decisions are made)
+and NT-path-terminating conditions through the step return value:
+
+* ``None``      -- normal completion
+* ``'unsafe'``  -- a syscall was reached in NT-path mode; it was *not*
+  performed (side effects cannot be sandboxed) and the engine must
+  squash the path.
+* ``'overflow'`` -- an NT-path store could not be buffered in L1 (every
+  way of the set already holds a volatile line); squash required.
+
+Faults raise :class:`~repro.cpu.exceptions.SimFault`; program
+termination raises :class:`~repro.cpu.exceptions.ProgramExit`.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.exceptions import FaultKind, ProgramExit, SimFault
+from repro.isa.instructions import Reg, Syscall
+
+_SHIFT_MASK = 63
+
+
+class Interpreter:
+    """Executes a :class:`~repro.isa.program.Program` on a core."""
+
+    def __init__(self, program, memory, allocator, core, io, costs,
+                 cache=None, detector=None, on_branch=None):
+        self.program = program
+        self.code = program.code
+        self.memory = memory
+        self.allocator = allocator
+        self.core = core
+        self.io = io
+        self.costs = costs
+        self.cache = cache
+        self.detector = detector
+        self.on_branch = on_branch
+        self.in_nt_path = False
+        self.cache_version = 0
+        self.store_count = 0
+        # With OS sandboxing of unsafe events (paper future work),
+        # syscalls execute speculatively inside NT-paths; the engine
+        # rolls the I/O context back at squash.
+        self.sandbox_unsafe = False
+
+    # ------------------------------------------------------------------
+
+    def step(self):
+        core = self.core
+        pc = core.pc
+        try:
+            instr = self.code[pc]
+        except IndexError:
+            raise SimFault(FaultKind.BAD_JUMP, 'pc=%d' % pc)
+        op = instr.op
+
+        if instr.pred:
+            if not core.pred:
+                core.pc = pc + 1
+                core.cycles += 1
+                core.instret += 1
+                return None
+        elif core.pred:
+            core.pred = False
+
+        regs = core.regs
+        cost = self.costs.cost(op)
+        event = None
+
+        if op == 'ld':
+            addr = regs[instr.b] + instr.c
+            value = self.memory.read(addr)
+            regs[instr.a] = value
+            if self.cache is not None:
+                result = self.cache.access(addr, False, self.cache_version)
+                cost += result.cycles
+            else:
+                cost += self.costs.l1_hit
+            if self.detector is not None:
+                cost += self.detector.on_load(addr, value, self)
+            core.pc = pc + 1
+        elif op == 'st':
+            addr = regs[instr.b] + instr.c
+            value = regs[instr.a]
+            self.store_count += 1
+            if self.cache is not None:
+                result = self.cache.access(addr, True, self.cache_version)
+                cost += result.cycles
+                if result.volatile_overflow and self.in_nt_path:
+                    core.cycles += cost
+                    return 'overflow'
+            else:
+                cost += self.costs.l1_hit
+            self.memory.write(addr, value)
+            if self.detector is not None:
+                cost += self.detector.on_store(addr, value, self)
+            core.pc = pc + 1
+        elif op == 'br':
+            taken = regs[instr.a] != 0
+            core.pc = instr.b if taken else pc + 1
+            core.cycles += cost
+            core.instret += 1
+            if self.on_branch is not None:
+                self.on_branch(pc, taken, instr)
+            return None
+        elif op == 'li':
+            regs[instr.a] = instr.b
+            core.pc = pc + 1
+        elif op == 'mov':
+            regs[instr.a] = regs[instr.b]
+            core.pc = pc + 1
+        elif op == 'addi':
+            value = regs[instr.b] + instr.c
+            regs[instr.a] = value
+            if instr.a == Reg.SP and value < self.memory.stack_limit:
+                raise SimFault(FaultKind.STACK_OVERFLOW, 'sp=%d' % value)
+            core.pc = pc + 1
+        elif op == 'add':
+            regs[instr.a] = regs[instr.b] + regs[instr.c]
+            core.pc = pc + 1
+        elif op == 'sub':
+            regs[instr.a] = regs[instr.b] - regs[instr.c]
+            core.pc = pc + 1
+        elif op == 'mul':
+            regs[instr.a] = regs[instr.b] * regs[instr.c]
+            core.pc = pc + 1
+        elif op == 'div':
+            divisor = regs[instr.c]
+            if divisor == 0:
+                raise SimFault(FaultKind.DIV_ZERO, 'pc=%d' % pc)
+            # C-style truncating division.
+            quotient = abs(regs[instr.b]) // abs(divisor)
+            if (regs[instr.b] < 0) != (divisor < 0):
+                quotient = -quotient
+            regs[instr.a] = quotient
+            core.pc = pc + 1
+        elif op == 'mod':
+            divisor = regs[instr.c]
+            if divisor == 0:
+                raise SimFault(FaultKind.DIV_ZERO, 'pc=%d' % pc)
+            value = regs[instr.b]
+            remainder = abs(value) % abs(divisor)
+            regs[instr.a] = -remainder if value < 0 else remainder
+            core.pc = pc + 1
+        elif op in ('slt', 'sle', 'seq', 'sne', 'sgt', 'sge'):
+            lhs = regs[instr.b]
+            rhs = regs[instr.c]
+            if op == 'slt':
+                regs[instr.a] = 1 if lhs < rhs else 0
+            elif op == 'sle':
+                regs[instr.a] = 1 if lhs <= rhs else 0
+            elif op == 'seq':
+                regs[instr.a] = 1 if lhs == rhs else 0
+            elif op == 'sne':
+                regs[instr.a] = 1 if lhs != rhs else 0
+            elif op == 'sgt':
+                regs[instr.a] = 1 if lhs > rhs else 0
+            else:
+                regs[instr.a] = 1 if lhs >= rhs else 0
+            core.pc = pc + 1
+        elif op == 'and':
+            regs[instr.a] = regs[instr.b] & regs[instr.c]
+            core.pc = pc + 1
+        elif op == 'or':
+            regs[instr.a] = regs[instr.b] | regs[instr.c]
+            core.pc = pc + 1
+        elif op == 'xor':
+            regs[instr.a] = regs[instr.b] ^ regs[instr.c]
+            core.pc = pc + 1
+        elif op == 'shl':
+            regs[instr.a] = regs[instr.b] << (regs[instr.c] & _SHIFT_MASK)
+            core.pc = pc + 1
+        elif op == 'shr':
+            regs[instr.a] = regs[instr.b] >> (regs[instr.c] & _SHIFT_MASK)
+            core.pc = pc + 1
+        elif op == 'jmp':
+            core.pc = instr.a
+        elif op == 'call':
+            if core.call_depth >= core.MAX_CALL_DEPTH:
+                raise SimFault(FaultKind.CALL_DEPTH, 'pc=%d' % pc)
+            sp = regs[Reg.SP] - 1
+            if sp < self.memory.stack_limit:
+                raise SimFault(FaultKind.STACK_OVERFLOW, 'sp=%d' % sp)
+            regs[Reg.SP] = sp
+            self.memory.write(sp, pc + 1)
+            core.call_depth += 1
+            core.pc = instr.a
+        elif op == 'ret':
+            sp = regs[Reg.SP]
+            core.pc = self.memory.read(sp)
+            regs[Reg.SP] = sp + 1
+            core.call_depth -= 1
+        elif op == 'push':
+            sp = regs[Reg.SP] - 1
+            if sp < self.memory.stack_limit:
+                raise SimFault(FaultKind.STACK_OVERFLOW, 'sp=%d' % sp)
+            regs[Reg.SP] = sp
+            self.memory.write(sp, regs[instr.a])
+            core.pc = pc + 1
+        elif op == 'pop':
+            sp = regs[Reg.SP]
+            regs[instr.a] = self.memory.read(sp)
+            regs[Reg.SP] = sp + 1
+            core.pc = pc + 1
+        elif op == 'syscall':
+            if self.in_nt_path and not self.sandbox_unsafe:
+                # Unsafe event: do not perform; the engine squashes.
+                return 'unsafe'
+            event = self._do_syscall(instr.a, regs)
+        elif op == 'assert':
+            if regs[instr.a] == 0 and self.detector is not None:
+                cost += self.detector.on_assert_fail(instr.b, pc, self)
+            core.pc = pc + 1
+        elif op == 'malloc':
+            base = self.allocator.malloc(regs[instr.b])
+            regs[instr.a] = base
+            if self.detector is not None:
+                self.detector.on_alloc(base, regs[instr.b], self)
+            core.pc = pc + 1
+        elif op == 'free':
+            addr = regs[instr.a]
+            ok = self.allocator.free(addr)
+            if self.detector is not None:
+                cost += self.detector.on_free(addr, ok, self)
+            core.pc = pc + 1
+        elif op == 'halt':
+            raise ProgramExit(0)
+        elif op == 'nop':
+            core.pc = pc + 1
+        else:                                    # pragma: no cover
+            raise SimFault(FaultKind.BAD_JUMP, 'bad op %r' % op)
+
+        core.cycles += cost
+        core.instret += 1
+        return event
+
+    # ------------------------------------------------------------------
+
+    def _do_syscall(self, code, regs):
+        io = self.io
+        io.syscall_count += 1
+        if code == Syscall.PRINT_INT:
+            io.print_int(regs[Reg.A1])
+        elif code == Syscall.PUTC:
+            io.putc(regs[Reg.A1])
+        elif code == Syscall.GETC:
+            regs[Reg.RV] = io.getc()
+        elif code == Syscall.READ_INT:
+            regs[Reg.RV] = io.read_int()
+        elif code == Syscall.EXIT:
+            self.core.pc += 1
+            raise ProgramExit(regs[Reg.A1])
+        elif code == Syscall.RAND:
+            regs[Reg.RV] = self.core.next_rand()
+        elif code == Syscall.TIME:
+            regs[Reg.RV] = self.core.next_rand() & 0xFFFF
+        else:
+            raise SimFault(FaultKind.BAD_JUMP, 'bad syscall %r' % code)
+        self.core.pc += 1
+        return None

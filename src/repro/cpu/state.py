@@ -1,0 +1,48 @@
+"""Architectural core state."""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Reg
+
+_MASK64 = (1 << 63) - 1
+
+
+class Core:
+    """One processor core's architectural state.
+
+    ``pred`` is the special predicate register of Section 4.4: set by
+    the spawn mechanism at NT-path entry, cleared when the first
+    unpredicated instruction executes, so the compiler-inserted
+    variable-fixing instructions run exactly once per NT-path entrance.
+    """
+
+    __slots__ = ('regs', 'pc', 'pred', 'call_depth', 'cycles', 'instret',
+                 'lcg_state', 'core_id')
+
+    MAX_CALL_DEPTH = 256
+
+    def __init__(self, core_id=0, rand_seed=0x1234567):
+        self.core_id = core_id
+        self.regs = [0] * Reg.COUNT
+        self.pc = 0
+        self.pred = False
+        self.call_depth = 0
+        self.cycles = 0
+        self.instret = 0
+        self.lcg_state = rand_seed
+
+    def reset(self, entry, sp):
+        self.regs = [0] * Reg.COUNT
+        self.regs[Reg.SP] = sp
+        self.regs[Reg.FP] = sp
+        self.pc = entry
+        self.pred = False
+        self.call_depth = 0
+        self.cycles = 0
+        self.instret = 0
+
+    def next_rand(self):
+        """Deterministic LCG; state is checkpointed with the core."""
+        self.lcg_state = (self.lcg_state * 6364136223846793005
+                          + 1442695040888963407) & _MASK64
+        return (self.lcg_state >> 17) & 0x7FFFFFFF

@@ -1,0 +1,71 @@
+"""I/O context backing the syscall instructions.
+
+All syscalls are *unsafe events* for NT-paths: their side effects reach
+outside the memory sandbox (Section 3.2), so the engines squash an
+NT-path before performing one.  The I/O context is therefore only ever
+mutated by the taken path.
+"""
+
+from __future__ import annotations
+
+
+class IOContext:
+    """Program input/output streams.
+
+    Args:
+        text_input: characters consumed by the GETC syscall.
+        int_input: integers consumed by the READ_INT syscall.
+    """
+
+    def __init__(self, text_input='', int_input=None):
+        self.text_input = text_input
+        self.int_input = list(int_input or [])
+        self._text_pos = 0
+        self._int_pos = 0
+        self.output = []
+        self.int_output = []
+        self.syscall_count = 0
+
+    def getc(self):
+        if self._text_pos >= len(self.text_input):
+            return -1
+        char = self.text_input[self._text_pos]
+        self._text_pos += 1
+        return ord(char)
+
+    def read_int(self):
+        if self._int_pos >= len(self.int_input):
+            return -1
+        value = self.int_input[self._int_pos]
+        self._int_pos += 1
+        return value
+
+    def putc(self, code):
+        self.output.append(chr(code & 0x10FFFF))
+
+    def print_int(self, value):
+        self.output.append(str(value))
+        self.output.append('\n')
+        self.int_output.append(value)
+
+    @property
+    def output_text(self):
+        return ''.join(self.output)
+
+    # ------------------------------------------------------------------
+    # speculative-I/O support (the paper's future-work OS extension):
+    # input cursors and output lengths are snapshotted at NT-path spawn
+    # and restored at squash, so syscalls executed inside the sandbox
+    # leave no trace.
+
+    def snapshot(self):
+        return (self._text_pos, self._int_pos, len(self.output),
+                len(self.int_output), self.syscall_count)
+
+    def restore(self, snap):
+        text_pos, int_pos, out_len, int_out_len, count = snap
+        self._text_pos = text_pos
+        self._int_pos = int_pos
+        del self.output[out_len:]
+        del self.int_output[int_out_len:]
+        self.syscall_count = count

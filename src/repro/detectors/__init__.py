@@ -1,0 +1,9 @@
+"""Dynamic bug detection tools (CCured, iWatcher, assertions)."""
+
+from repro.detectors.assertions import AssertionDetector
+from repro.detectors.base import BugReport, Detector, ReportKind
+from repro.detectors.ccured import CCuredDetector
+from repro.detectors.iwatcher import IWatcherDetector
+
+__all__ = ['Detector', 'BugReport', 'ReportKind', 'CCuredDetector',
+           'IWatcherDetector', 'AssertionDetector']

@@ -1,0 +1,60 @@
+"""Shared address-classification logic for the memory checkers.
+
+Both CCured (software) and iWatcher (hardware-assisted) detect the same
+memory bug classes in our reproduction; what differs is the *cost
+model* of their checks.  The classification itself -- which address
+ranges are legal -- is Purify-style interval checking over red zones:
+
+* heap objects carry 2-word red zones (allocator);
+* global objects are laid out with 2-word gaps between them (compiler);
+* freed objects stay poisoned until reuse;
+* anything outside every region is a wild access.
+
+See DESIGN.md for the pointer-provenance fidelity note.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.detectors.base import ReportKind
+
+OK = None
+
+
+class MemoryCheckLogic:
+    """Classifies a data access as legal or as a bug-report kind."""
+
+    def __init__(self, program, memory, allocator):
+        self.memory = memory
+        self.allocator = allocator
+        # Sorted global-object intervals for binary search.
+        objs = sorted(program.global_objects, key=lambda item: item[1])
+        self._global_bases = [base for _name, base, _size in objs]
+        self._global_limits = [base + size for _name, base, size in objs]
+        self._globals_end = memory.monitor_base
+
+    def classify(self, addr):
+        """Return ``None`` if the access is legal, else a ReportKind."""
+        memory = self.memory
+        if addr >= memory.stack_limit:
+            return OK                       # stack (frame-level: unchecked)
+        allocator = self.allocator
+        if addr >= allocator.heap_base:
+            if addr < memory.stack_limit:
+                kind = allocator.classify(addr)
+                if kind == 'object':
+                    return OK
+                if kind == 'redzone':
+                    return ReportKind.OVERRUN
+                if kind == 'freed':
+                    return ReportKind.DANGLING
+                return ReportKind.WILD
+        if addr >= memory.monitor_base:
+            return OK                       # monitor memory area
+        if addr < self._globals_end:
+            index = bisect_right(self._global_bases, addr) - 1
+            if index >= 0 and addr < self._global_limits[index]:
+                return OK
+            return ReportKind.OVERRUN       # gap between global objects
+        return ReportKind.WILD

@@ -1,0 +1,552 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Every function returns an
+:class:`~repro.harness.reporting.ExperimentResult` whose rows mirror
+the rows/series the paper reports; the benchmark harness prints them
+and EXPERIMENTS.md records paper-vs-measured.  DESIGN.md Section 4 maps
+experiment ids to paper artifacts.
+"""
+
+from __future__ import annotations
+
+from repro.apps.bugs import classify_reports
+from repro.apps.registry import (BUGGY_APP_NAMES, WORKLOAD_APP_NAMES,
+                                 get_app, total_tested_bugs)
+from repro.core.config import Mode, PathExpanderConfig
+from repro.core.result import NTPathTermination
+from repro.core.runner import make_detector, run_program
+from repro.harness.reporting import ExperimentResult, percent
+from repro.workloads.inputs import CUMULATIVE_APP_NAMES, input_suite
+
+# Memory-bug applications and the versions carrying their bugs,
+# evaluated with both CCured and iWatcher (Table 3).
+MEMORY_BUG_TARGETS = (('go_app', 0), ('bc_calc', 0), ('man_fmt', 0),
+                      ('print_tokens2', 10))
+MEMORY_TOOLS = ('ccured', 'iwatcher')
+
+
+def _run_app(app, program, detector, mode=Mode.STANDARD, inputs=None,
+             **overrides):
+    text, ints = inputs if inputs is not None else app.default_input()
+    config = app.make_config(mode=mode, **overrides)
+    return run_program(program, detector=make_detector(detector),
+                       config=config, text_input=text, int_input=ints)
+
+
+# ---------------------------------------------------------------------
+# Table 2: machine parameters (configuration inventory)
+
+def run_table2():
+    config = PathExpanderConfig()
+    rows = [
+        ('spawn overhead', '%d cycles' % config.spawn_overhead),
+        ('squash overhead', '%d cycles' % config.squash_overhead),
+        ('L1 cache', '%dKB, %d-way, %dB/line, %d cycles'
+         % (config.l1_size_bytes // 1024, config.l1_ways,
+            config.l1_line_bytes, config.l1_hit_latency)),
+        ('L2 latency', '%d cycles' % config.l2_hit_latency),
+        ('BTB', '%d entries, %d-way' % (config.btb_entries,
+                                        config.btb_ways)),
+        ('cores (CMP option)', str(config.num_cores)),
+        ('NTPathCounterThreshold', str(config.nt_counter_threshold)),
+        ('MaxNTPathLength', '%d (100 for Siemens apps)'
+         % config.max_nt_path_length),
+        ('MaxNumNTPaths', str(config.max_num_nt_paths)),
+        ('CounterResetInterval', '%d instructions'
+         % config.counter_reset_interval),
+    ]
+    return ExperimentResult(
+        'table2', 'Simulated machine and PathExpander parameters',
+        ['parameter', 'value'], rows,
+        notes=['mirrors Table 2 and the Section 6.3 defaults'])
+
+
+# ---------------------------------------------------------------------
+# Table 3: applications and bugs
+
+def run_table3():
+    rows = []
+    for name in BUGGY_APP_NAMES:
+        app = get_app(name)
+        source_lines = sum(
+            len(app.source(version).splitlines())
+            for version in (sorted(app.versions) or [0])[:1])
+        bug_count = sum(
+            (2 if bug.is_memory_bug else 1)
+            for bugs in app.versions.values() for bug in bugs)
+        tools = '+'.join(app.tools)
+        rows.append((name, source_lines, bug_count, tools))
+    rows.append(('TOTAL', '', total_tested_bugs(), ''))
+    return ExperimentResult(
+        'table3', 'Applications and tested bugs',
+        ['application', 'source lines', 'tested bugs', 'tools'], rows,
+        notes=['paper: 38 tested bugs across seven buggy applications',
+               'memory bugs count once per memory tool '
+               '(CCured and iWatcher)'])
+
+
+# ---------------------------------------------------------------------
+# Table 4: bug detection, baseline vs PathExpander
+
+def _memory_bug_rows(mode=Mode.STANDARD):
+    rows = []
+    for tool in MEMORY_TOOLS:
+        for app_name, version in MEMORY_BUG_TARGETS:
+            app = get_app(app_name)
+            program = app.compile(version)
+            bugs = app.bugs(version)
+            base = _run_app(app, program, tool, mode=Mode.BASELINE)
+            expanded = _run_app(app, program, tool, mode=mode)
+            base_found, _ = classify_reports(base.reports, bugs)
+            pe_found, _ = classify_reports(expanded.reports, bugs)
+            rows.append((tool, app_name, version, len(bugs),
+                         len(base_found), len(pe_found)))
+    return rows
+
+
+def _assertion_bug_rows(mode=Mode.STANDARD):
+    rows = []
+    for app_name in BUGGY_APP_NAMES:
+        app = get_app(app_name)
+        for version in app.assertion_versions:
+            program = app.compile(version)
+            bugs = app.bugs(version)
+            base = _run_app(app, program, 'assertions',
+                            mode=Mode.BASELINE)
+            expanded = _run_app(app, program, 'assertions', mode=mode)
+            base_found, _ = classify_reports(base.reports, bugs)
+            pe_found, _ = classify_reports(expanded.reports, bugs)
+            rows.append((app_name, version, len(bugs), len(base_found),
+                         len(pe_found)))
+    return rows
+
+
+def run_table4(mode=Mode.STANDARD):
+    rows = []
+    totals = {'tested': 0, 'baseline': 0, 'pathexpander': 0}
+
+    memory_rows = _memory_bug_rows(mode)
+    grouped = {}
+    for tool, app_name, _version, tested, base, found in memory_rows:
+        key = (tool, app_name)
+        agg = grouped.setdefault(key, [0, 0, 0])
+        agg[0] += tested
+        agg[1] += base
+        agg[2] += found
+    for (tool, app_name), (tested, base, found) in grouped.items():
+        rows.append((tool, app_name, tested, base, found))
+        totals['tested'] += tested
+        totals['baseline'] += base
+        totals['pathexpander'] += found
+
+    assertion_totals = {}
+    for app_name, _version, tested, base, found in \
+            _assertion_bug_rows(mode):
+        agg = assertion_totals.setdefault(app_name, [0, 0, 0])
+        agg[0] += tested
+        agg[1] += base
+        agg[2] += found
+    for app_name, (tested, base, found) in assertion_totals.items():
+        rows.append(('assertions', app_name, tested, base, found))
+        totals['tested'] += tested
+        totals['baseline'] += base
+        totals['pathexpander'] += found
+
+    rows.append(('TOTAL', '', totals['tested'], totals['baseline'],
+                 totals['pathexpander']))
+    return ExperimentResult(
+        'table4', 'Bug detection results (baseline vs PathExpander)',
+        ['tool', 'application', '#bugs tested', 'baseline detected',
+         'PathExpander detected'], rows,
+        notes=['paper: 38 tested, 0 detected at baseline, 21 with '
+               'PathExpander',
+               'paper constraints: print_tokens 5/7, bc 1/2, schedule '
+               'v1&v3 missed (value coverage), print_tokens2 v3 missed '
+               '(inconsistency), print_tokens2 v6 and go missed '
+               '(special input)'])
+
+
+# ---------------------------------------------------------------------
+# Table 5: consistency fixing -- false positives and detections
+
+def run_table5():
+    rows = []
+    fp_before_total = 0
+    fp_after_total = 0
+    for tool in MEMORY_TOOLS:
+        for app_name, version in MEMORY_BUG_TARGETS:
+            app = get_app(app_name)
+            program = app.compile(version)
+            bugs = app.bugs(version)
+            unfixed = _run_app(app, program, tool,
+                               variable_fixing=False)
+            fixed = _run_app(app, program, tool, variable_fixing=True)
+            found_before, fps_before = classify_reports(
+                unfixed.reports, bugs)
+            found_after, fps_after = classify_reports(
+                fixed.reports, bugs)
+            fp_before_total += len(fps_before)
+            fp_after_total += len(fps_after)
+            rows.append((tool, app_name, len(fps_before),
+                         len(fps_after), len(found_before),
+                         len(found_after)))
+    count = len(rows)
+    rows.append(('AVERAGE', '', round(fp_before_total / count, 2),
+                 round(fp_after_total / count, 2), '', ''))
+    return ExperimentResult(
+        'table5', 'Effect of key-variable consistency fixing',
+        ['tool', 'application', 'FP before fix', 'FP after fix',
+         'bugs before fix', 'bugs after fix'], rows,
+        notes=['paper: false positives drop from 13 to 4 on average; '
+               'the man bug is detected only after fixing'])
+
+
+# ---------------------------------------------------------------------
+# Figure 3: crash-latency / unsafe-latency CDFs
+
+FIG3_APPS = ('go_app', 'gzip_app', 'vpr_app')
+FIG3_BUCKETS = (10, 50, 100, 200, 500, 999)
+
+
+def run_fig3(apps=FIG3_APPS):
+    rows = []
+    details = {}
+    for app_name in apps:
+        app = get_app(app_name)
+        program = app.compile(0)
+        # Section 3.2 setup: spawn at every zero-count non-taken edge,
+        # no variable fixing, run to the 1000-instruction threshold.
+        result = _run_app(app, program, 'none',
+                          nt_counter_threshold=1, variable_fixing=False,
+                          max_nt_path_length=1000,
+                          collect_nt_details=True)
+        records = result.nt_details
+        details[app_name] = records
+        total = max(len(records), 1)
+        stopped = [r for r in records
+                   if r.reason in (NTPathTermination.CRASH,
+                                   NTPathTermination.UNSAFE)]
+        crash = [r for r in stopped
+                 if r.reason == NTPathTermination.CRASH]
+        row = [app_name, len(records)]
+        for bucket in FIG3_BUCKETS:
+            ratio = sum(1 for r in stopped if r.length <= bucket) / total
+            row.append(percent(ratio))
+        survived = 1.0 - len(stopped) / total
+        row.append(percent(survived))
+        row.append(percent(len(crash) / total))
+        rows.append(row)
+    headers = ['application', '#NT-paths'] + [
+        'stopped<=%d' % b for b in FIG3_BUCKETS] + [
+        'survive>=1000', 'crash ratio']
+    return ExperimentResult(
+        'fig3', 'Crash-latency and unsafe-latency distribution',
+        headers, rows,
+        notes=['paper: 65-99% of NT-paths survive 1000 instructions; '
+               'go stops earliest in only ~0.5% of paths; gzip/vpr '
+               'stop mostly on unsafe events']), details
+
+
+# ---------------------------------------------------------------------
+# Coverage, single input (Figure 7 analogue)
+
+def run_fig7(apps=WORKLOAD_APP_NAMES, mode=Mode.STANDARD):
+    rows = []
+    base_sum = 0.0
+    total_sum = 0.0
+    for app_name in apps:
+        app = get_app(app_name)
+        program = app.compile(0)
+        result = _run_app(app, program, 'none', mode=mode)
+        base_sum += result.baseline_coverage
+        total_sum += result.total_coverage
+        rows.append((app_name, result.total_edges,
+                     percent(result.baseline_coverage),
+                     percent(result.total_coverage),
+                     result.nt_spawned))
+    count = len(apps)
+    rows.append(('AVERAGE', '', percent(base_sum / count),
+                 percent(total_sum / count), ''))
+    return ExperimentResult(
+        'fig7', 'Branch coverage of a single monitored run',
+        ['application', '#edges', 'baseline coverage',
+         'PathExpander coverage', 'NT-paths'], rows,
+        notes=['paper: coverage rises from 40% to 65% on average'])
+
+
+# ---------------------------------------------------------------------
+# Cumulative coverage over multiple inputs (Figure 8 analogue)
+
+def run_fig8(apps=CUMULATIVE_APP_NAMES, runs=50):
+    rows = []
+    base_sum = 0.0
+    total_sum = 0.0
+    for app_name in apps:
+        app = get_app(app_name)
+        program = app.compile(0)
+        base_cov, total_cov = _cumulative_for_app(app, program,
+                                                  app_name, runs)
+        base_sum += base_cov
+        total_sum += total_cov
+        rows.append((app_name, runs, percent(base_cov),
+                     percent(total_cov),
+                     percent(total_cov - base_cov)))
+    count = len(apps)
+    rows.append(('AVERAGE', '', percent(base_sum / count),
+                 percent(total_sum / count),
+                 percent((total_sum - base_sum) / count)))
+    return ExperimentResult(
+        'fig8', 'Cumulative branch coverage over multiple inputs',
+        ['application', '#inputs', 'baseline cumulative',
+         'PathExpander cumulative', 'improvement'], rows,
+        notes=['paper: cumulative coverage still improves by ~19% '
+               'on average'])
+
+
+def _cumulative_for_app(app, program, app_name, runs):
+    baseline_edges = set()
+    all_edges = set()
+    for text, ints in input_suite(app_name, count=runs):
+        result = run_program(
+            program, detector=None,
+            config=app.make_config(mode=Mode.STANDARD),
+            text_input=text, int_input=ints)
+        baseline_edges |= result.taken_edges
+        all_edges |= result.covered_edges
+    total = max(program.num_edges, 1)
+    return len(baseline_edges) / total, len(all_edges) / total
+
+
+# ---------------------------------------------------------------------
+# Overhead (Figure 9 analogue)
+
+def run_fig9(apps=WORKLOAD_APP_NAMES, detector='ccured'):
+    rows = []
+    worst_cmp = 0.0
+    for app_name in apps:
+        app = get_app(app_name)
+        program = app.compile(0)
+        base = _run_app(app, program, detector, mode=Mode.BASELINE)
+        std = _run_app(app, program, detector, mode=Mode.STANDARD)
+        cmp_ = _run_app(app, program, detector, mode=Mode.CMP)
+        std_overhead = std.overhead_vs(base)
+        cmp_overhead = cmp_.overhead_vs(base)
+        worst_cmp = max(worst_cmp, cmp_overhead)
+        rows.append((app_name, base.cycles, percent(std_overhead),
+                     percent(cmp_overhead), std.nt_spawned,
+                     cmp_.nt_skipped_busy))
+    rows.append(('WORST CMP', '', '', percent(worst_cmp), '', ''))
+    return ExperimentResult(
+        'fig9', 'Execution overhead of PathExpander',
+        ['application', 'baseline cycles', 'standard overhead',
+         'CMP overhead', 'NT-paths', 'CMP skipped (busy)'], rows,
+        notes=['paper: overhead below 9.9% with the CMP optimisation; '
+               'hundreds to thousands of NT-paths per run'])
+
+
+# ---------------------------------------------------------------------
+# Hardware vs software implementation (Section 7.5)
+
+def run_table6(apps=('print_tokens2', 'schedule', 'bc_calc', 'gzip_app'),
+               detector='ccured'):
+    import math
+    rows = []
+    ratios = []
+    for app_name in apps:
+        app = get_app(app_name)
+        program = app.compile(0)
+        base = _run_app(app, program, detector, mode=Mode.BASELINE)
+        cmp_ = _run_app(app, program, detector, mode=Mode.CMP)
+        sw = _run_app(app, program, detector, mode=Mode.SOFTWARE)
+        config = app.make_config(mode=Mode.SOFTWARE)
+        native = base.cycles
+        hw_overhead = max(cmp_.overhead_vs(base), 1e-6)
+        sw_overhead = (sw.cycles - native) / native
+        ratio = sw_overhead / hw_overhead
+        ratios.append(ratio)
+        rows.append((app_name, percent(hw_overhead),
+                     '%.0fx' % sw_overhead, '%.0f' % ratio,
+                     '%.1f' % math.log10(max(ratio, 1.0))))
+    geo = 1.0
+    for ratio in ratios:
+        geo *= max(ratio, 1.0)
+    geo **= 1.0 / len(ratios)
+    rows.append(('GEOMEAN', '', '', '%.0f' % geo,
+                 '%.1f' % math.log10(max(geo, 1.0))))
+    return ExperimentResult(
+        'table6', 'Hardware vs software PathExpander overhead',
+        ['application', 'CMP overhead', 'software overhead',
+         'overhead ratio', 'orders of magnitude'], rows,
+        notes=['paper: hardware is 3-4 orders of magnitude cheaper '
+               'than the pure-software implementation'])
+
+
+# ---------------------------------------------------------------------
+# Parameter sensitivity (Section 7.6)
+
+def run_fig10(app_name='print_tokens2', detector='none'):
+    app = get_app(app_name)
+    program = app.compile(0)
+    rows = []
+    base = _run_app(app, program, detector, mode=Mode.BASELINE)
+    for max_len in (10, 50, 100, 500, 1000):
+        result = _run_app(app, program, detector,
+                          max_nt_path_length=max_len)
+        rows.append(('MaxNTPathLength=%d' % max_len,
+                     percent(result.total_coverage),
+                     percent(result.overhead_vs(base)),
+                     result.nt_spawned))
+    for threshold in (1, 2, 5, 10, 15):
+        result = _run_app(app, program, detector,
+                          nt_counter_threshold=threshold)
+        rows.append(('NTPathCounterThreshold=%d' % threshold,
+                     percent(result.total_coverage),
+                     percent(result.overhead_vs(base)),
+                     result.nt_spawned))
+    for max_paths in (1, 2, 4, 8, 16, 32):
+        result = _run_app(app, program, detector, mode=Mode.CMP,
+                          max_num_nt_paths=max_paths)
+        rows.append(('MaxNumNTPaths=%d' % max_paths,
+                     percent(result.total_coverage),
+                     percent(result.overhead_vs(base)),
+                     result.nt_spawned))
+    return ExperimentResult(
+        'fig10', 'Parameter sensitivity (%s)' % app_name,
+        ['setting', 'coverage', 'overhead', 'NT-paths'], rows,
+        notes=['Section 7.6: longer NT-paths and higher thresholds '
+               'increase coverage at higher overhead; more outstanding '
+               'NT-paths recover spawns skipped while busy'])
+
+
+# ---------------------------------------------------------------------
+# Ablation: exploring non-taken edges from NT-paths (Section 4.2(3))
+
+def run_ablation_nt_from_nt(app_name='gzip_app'):
+    app = get_app(app_name)
+    program = app.compile(0)
+    rows = []
+    for label, flag in (('follow taken edges only', False),
+                        ('explore non-taken edges from NT-paths', True)):
+        result = _run_app(app, program, 'none',
+                          nt_counter_threshold=1, variable_fixing=False,
+                          max_nt_path_length=1000,
+                          collect_nt_details=True,
+                          explore_nt_from_nt=flag)
+        total = max(result.nt_spawned, 1)
+        crashes = sum(1 for r in result.nt_details
+                      if r.reason == NTPathTermination.CRASH
+                      and r.length <= 1000)
+        rows.append((label, percent(result.total_coverage),
+                     percent(crashes / total), result.nt_spawned))
+    return ExperimentResult(
+        'abl1', 'Design choice: NT-paths follow only taken edges',
+        ['policy', 'coverage', 'crash ratio (<=1000 instr)',
+         'NT-paths'], rows,
+        notes=['paper (164.gzip): exploring non-taken edges from '
+               'NT-paths adds ~2% coverage but raises the early-crash '
+               'ratio from 5% to 16%'])
+
+
+# ---------------------------------------------------------------------
+# Extension 1 (paper future work, Section 3.2): OS support that
+# sandboxes unsafe events.  The paper predicts "more than 90% of
+# NT-Paths may potentially execute up to 1000 instructions".
+
+def run_ext_os_sandbox(apps=FIG3_APPS):
+    rows = []
+    for app_name in apps:
+        app = get_app(app_name)
+        program = app.compile(0)
+        survivals = []
+        for sandboxed in (False, True):
+            result = _run_app(app, program, 'none',
+                              nt_counter_threshold=1,
+                              variable_fixing=False,
+                              max_nt_path_length=1000,
+                              collect_nt_details=True,
+                              sandbox_unsafe_events=sandboxed)
+            total = max(result.nt_spawned, 1)
+            stopped = sum(
+                1 for record in result.nt_details
+                if record.reason in (NTPathTermination.CRASH,
+                                     NTPathTermination.UNSAFE))
+            survivals.append(1.0 - stopped / total)
+        rows.append((app_name, percent(survivals[0]),
+                     percent(survivals[1])))
+    return ExperimentResult(
+        'ext1', 'OS sandboxing of unsafe events (paper future work)',
+        ['application', 'survival (hw only)',
+         'survival (with OS sandbox)'], rows,
+        notes=['paper prediction: with OS support, more than 90% of '
+               'NT-paths could execute up to 1000 instructions'])
+
+
+# ---------------------------------------------------------------------
+# Extension 2 (paper Section 7.1, miss mechanism 2): random factor in
+# NT-path selection recovers bugs whose entry edge saturated its
+# exercise counter before the bug-triggering state arose.
+
+EXERCISED_EDGE_TARGETS = (('bc_calc', 0, 'ccured', 'bc_flush'),
+                          ('schedule2', 5, 'assertions', 'sch2_v5'))
+
+
+def run_ext_random_selection(rate=0.3):
+    rows = []
+    for app_name, version, tool, bug_id in EXERCISED_EDGE_TARGETS:
+        app = get_app(app_name)
+        program = app.compile(version)
+        bugs = [bug for bug in app.bugs(version)
+                if bug.bug_id == bug_id]
+        plain = _run_app(app, program, tool)
+        randomized = _run_app(app, program, tool,
+                              selection_random_rate=rate)
+        found_plain, _ = classify_reports(plain.reports, bugs)
+        found_random, _ = classify_reports(randomized.reports, bugs)
+        rows.append((bug_id, app_name,
+                     'yes' if found_plain else 'no',
+                     'yes' if found_random else 'no',
+                     randomized.nt_spawned - plain.nt_spawned))
+    return ExperimentResult(
+        'ext2', 'Random factor in NT-path selection (rate=%.2f)' % rate,
+        ['bug', 'application', 'detected (counter only)',
+         'detected (with random factor)', 'extra NT-paths'], rows,
+        notes=['paper: "this problem can be addressed by adding random '
+               'factor into PathExpander\'s NT-Path selection"'])
+
+
+# ---------------------------------------------------------------------
+# Validation: the CMP scheduling model against the detailed engine.
+# The detailed engine interleaves cores cycle by cycle and implements
+# the Fig. 6 segment/version protocol; detections and coverage must be
+# identical, and both overhead estimates must stay under the paper's
+# 9.9% bound.
+
+def run_val_cmp_model(apps=('print_tokens2', 'schedule', 'bc_calc',
+                            'man_fmt'), detector='ccured'):
+    from repro.core.runner import run_detailed_cmp
+    rows = []
+    for app_name in apps:
+        app = get_app(app_name)
+        program = app.compile(0)
+        text, ints = app.default_input()
+        base = _run_app(app, program, detector, mode=Mode.BASELINE)
+        model = _run_app(app, program, detector, mode=Mode.CMP)
+        detailed = run_detailed_cmp(
+            program, detector=make_detector(detector),
+            config=app.make_config(mode=Mode.CMP),
+            text_input=text, int_input=ints)
+        same_bugs = ({r.site_key for r in model.reports}
+                     == {r.site_key for r in detailed.reports})
+        rows.append((app_name, percent(model.overhead_vs(base)),
+                     percent(detailed.overhead_vs(base)),
+                     'yes' if same_bugs else 'NO',
+                     model.nt_spawned, detailed.nt_spawned))
+    return ExperimentResult(
+        'val1', 'CMP scheduling model vs detailed engine',
+        ['application', 'model overhead', 'detailed overhead',
+         'same detections', 'NT-paths (model)', 'NT-paths (detailed)'],
+        rows,
+        notes=['the detailed engine simulates the Fig. 6 '
+               'segment/version protocol with true core interleaving; '
+               'both implementations must agree on detections and stay '
+               'under the 9.9% bound'])

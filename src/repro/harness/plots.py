@@ -1,0 +1,102 @@
+"""ASCII plotting for experiment results.
+
+Renders the Figure 3 cumulative-distribution curves and coverage bar
+charts as terminal text, so the paper's figures can be eyeballed
+directly from the CLI (``python -m repro experiment fig3``) without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import NTPathTermination
+
+_STOP_REASONS = (NTPathTermination.CRASH, NTPathTermination.UNSAFE)
+
+
+def cdf_points(records, max_x=1000, steps=50):
+    """Stopped-NT-path-ratio CDF from NT-path records.
+
+    Returns ``[(x, stopped_ratio)]`` -- the fraction of NT-paths that
+    crashed or hit an unsafe event within ``x`` executed instructions,
+    exactly the y-axis of the paper's Figure 3.
+    """
+    total = max(len(records), 1)
+    stop_lengths = sorted(record.length for record in records
+                          if record.reason in _STOP_REASONS)
+    points = []
+    for step in range(steps + 1):
+        x = max_x * step // steps
+        stopped = 0
+        for length in stop_lengths:
+            if length > x:
+                break
+            stopped += 1
+        points.append((x, stopped / total))
+    return points
+
+
+def ascii_curve(points, height=12, width=None, y_max=None,
+                title='', y_label='ratio'):
+    """One CDF curve as an ASCII chart."""
+    width = width or len(points)
+    if y_max is None:
+        y_max = max((value for _x, value in points), default=0.0)
+        y_max = max(y_max, 0.05)
+    xs = [x for x, _v in points]
+    values = [value for _x, value in points]
+    # resample onto the requested width
+    columns = []
+    for col in range(width):
+        index = col * (len(values) - 1) // max(width - 1, 1)
+        columns.append(values[index])
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(height, -1, -1):
+        threshold = y_max * row / height
+        cells = []
+        for value in columns:
+            cells.append('*' if value >= threshold and value > 0
+                         else ' ')
+        label = '%5.2f |' % threshold if row % 3 == 0 else '      |'
+        lines.append(label + ''.join(cells))
+    lines.append('      +' + '-' * width)
+    lines.append('       0%s%d (instructions)'
+                 % (' ' * (width - len(str(xs[-1])) - 1), xs[-1]))
+    return '\n'.join(lines)
+
+
+def fig3_plot(details, max_x=1000, width=60):
+    """The full Figure 3 as stacked ASCII charts."""
+    charts = []
+    for app_name, records in details.items():
+        points = cdf_points(records, max_x=max_x, steps=width)
+        stopped = sum(1 for r in records if r.reason in _STOP_REASONS)
+        title = ('%s -- stopped NT-path ratio (%d of %d stop early)'
+                 % (app_name, stopped, len(records)))
+        charts.append(ascii_curve(points, title=title, width=width,
+                                  y_max=1.0))
+    return '\n\n'.join(charts)
+
+
+def coverage_bars(rows, width=40):
+    """Baseline-vs-PathExpander coverage bars from fig7-style rows."""
+    lines = []
+    for row in rows:
+        name = row[0]
+        if name in ('AVERAGE',):
+            lines.append('')
+        try:
+            base = float(str(row[2]).rstrip('%'))
+            total = float(str(row[3]).rstrip('%'))
+        except (ValueError, IndexError):
+            continue
+        base_cols = int(round(base / 100 * width))
+        extra_cols = max(int(round(total / 100 * width)) - base_cols, 0)
+        bar = '#' * base_cols + '+' * extra_cols
+        bar = bar.ljust(width, '.')
+        lines.append('%-14s [%s] %5.1f%% -> %5.1f%%'
+                     % (name, bar, base, total))
+    lines.append('%14s  %s' % ('', "'#' baseline, '+' added by "
+                                   "NT-paths"))
+    return '\n'.join(lines)

@@ -1,0 +1,48 @@
+"""Plain-text table formatting for experiment results."""
+
+from __future__ import annotations
+
+
+class ExperimentResult:
+    """One regenerated table/figure: rows plus paper-target notes."""
+
+    def __init__(self, exp_id, title, headers, rows, notes=None):
+        self.exp_id = exp_id
+        self.title = title
+        self.headers = list(headers)
+        self.rows = [list(row) for row in rows]
+        self.notes = list(notes or [])
+
+    def format(self):
+        lines = ['%s: %s' % (self.exp_id, self.title)]
+        table = [self.headers] + [
+            [_cell(value) for value in row] for row in self.rows]
+        widths = [max(len(row[col]) for row in table)
+                  for col in range(len(self.headers))]
+        lines.append('  '.join(
+            header.ljust(width)
+            for header, width in zip(self.headers, widths)))
+        lines.append('  '.join('-' * width for width in widths))
+        for row in table[1:]:
+            lines.append('  '.join(
+                value.ljust(width) for value, width in zip(row, widths)))
+        for note in self.notes:
+            lines.append('  # %s' % note)
+        return '\n'.join(lines)
+
+    def row_dict(self, key_column=0):
+        return {row[key_column]: row for row in self.rows}
+
+    def __repr__(self):
+        return '<ExperimentResult %s: %d rows>' % (self.exp_id,
+                                                   len(self.rows))
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return '%.2f' % value
+    return str(value)
+
+
+def percent(value):
+    return '%.1f%%' % (100.0 * value)

@@ -1,0 +1,8 @@
+"""Instruction set architecture of the reproduction machine."""
+
+from repro.isa.builder import Label, ProgramBuilder
+from repro.isa.instructions import Instr, Reg, Syscall
+from repro.isa.program import BlankStructInfo, BranchEdge, Program
+
+__all__ = ['Instr', 'Reg', 'Syscall', 'Program', 'BranchEdge',
+           'BlankStructInfo', 'ProgramBuilder', 'Label']

@@ -1,0 +1,223 @@
+"""Textual assembler for the PathExpander ISA.
+
+Useful for hand-crafted micro-kernels in tests and experiments that
+need exact instruction sequences (the MiniC compiler is the normal
+entry point).  Example::
+
+    .global counter 1
+    .string greet "hi"
+
+    func main:
+        li a1, 5
+        call double
+        mov r8, rv
+        st r8, zero, counter
+    loop:
+        addi r8, r8, -1
+        sgt r9, r8, zero
+        br r9, loop
+        halt
+
+    func double:
+        add rv, a1, a1
+        ret
+
+Syntax:
+
+* ``func NAME:`` starts a function; ``NAME:`` binds a label.
+* ``p.`` prefixes a predicated instruction (``p.li fix, 5``).
+* Operands: registers (``r0``-``r31``, ``zero``, ``rv``, ``a1``-``a5``,
+  ``fp``, ``sp``, ``fix``, ``scr``), integers, label or function names,
+  global names (resolve to their data address), quoted strings (for
+  ``assert`` ids), char literals, and syscall names for ``syscall``.
+* ``.global NAME SIZE`` reserves data words; ``.string NAME "..."``
+  stores a string; ``.gap N`` inserts unregistered guard words.
+* ``;`` or ``#`` start a comment.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import ALL_OPS, Reg, Syscall
+
+_REG_ALIASES = {
+    'zero': Reg.ZERO, 'rv': Reg.RV, 'fp': Reg.FP, 'sp': Reg.SP,
+    'fix': Reg.FIX, 'scr': Reg.SCRATCH,
+    'a0': Reg.A0, 'a1': Reg.A1, 'a2': Reg.A2, 'a3': Reg.A3,
+    'a4': Reg.A4, 'a5': Reg.A5,
+}
+_SYSCALLS = {
+    'print_int': Syscall.PRINT_INT, 'putc': Syscall.PUTC,
+    'getc': Syscall.GETC, 'read_int': Syscall.READ_INT,
+    'exit': Syscall.EXIT, 'rand': Syscall.RAND, 'time': Syscall.TIME,
+}
+
+
+class AsmError(Exception):
+    def __init__(self, message, line_no):
+        super().__init__('line %d: %s' % (line_no, message))
+        self.line_no = line_no
+
+
+def _split_operands(text):
+    """Comma-split that respects quoted strings."""
+    parts = []
+    current = []
+    in_string = False
+    for char in text:
+        if char == '"':
+            in_string = not in_string
+            current.append(char)
+        elif char == ',' and not in_string:
+            parts.append(''.join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = ''.join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+class Assembler:
+
+    def __init__(self, name='asm'):
+        self.builder = ProgramBuilder(name)
+        self.labels = {}
+        self.globals = {}
+
+    # ------------------------------------------------------------------
+
+    def assemble(self, source, entry='main'):
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split(';')[0].split('#')[0].strip()
+            if not line:
+                continue
+            if line.startswith('.'):
+                self._directive(line, line_no)
+            elif line.startswith('func ') and line.endswith(':'):
+                self.builder.func(line[5:-1].strip())
+            elif line.endswith(':'):
+                self._bind_label(line[:-1].strip(), line_no)
+            else:
+                self._instruction(line, line_no)
+        self._resolve_pending()
+        return self.builder.build(entry=entry)
+
+    # ------------------------------------------------------------------
+
+    def _directive(self, line, line_no):
+        parts = line.split(None, 2)
+        directive = parts[0]
+        if directive == '.global':
+            if len(parts) != 3:
+                raise AsmError('.global NAME SIZE', line_no)
+            name, size = parts[1], parts[2]
+            self.globals[name] = self.builder.alloc_global(name,
+                                                           int(size))
+            self.builder.alloc_gap()
+        elif directive == '.string':
+            if len(parts) != 3 or not parts[2].startswith('"'):
+                raise AsmError('.string NAME "TEXT"', line_no)
+            text = parts[2].strip()[1:-1]
+            self.globals[parts[1]] = self.builder.alloc_string(text)
+            self.builder.alloc_gap()
+        elif directive == '.gap':
+            self.builder.alloc_gap(int(parts[1]) if len(parts) > 1
+                                   else 2)
+        else:
+            raise AsmError('unknown directive %s' % directive, line_no)
+
+    def _bind_label(self, name, line_no):
+        if name in self.labels and self.labels[name].address is not None:
+            raise AsmError('label %r bound twice' % name, line_no)
+        label = self.labels.setdefault(name, self.builder.new_label(name))
+        if label.address is None:
+            self.builder.bind(label)
+
+    def _instruction(self, line, line_no):
+        pred = False
+        if line.startswith('p.'):
+            pred = True
+            line = line[2:]
+        pieces = line.split(None, 1)
+        op = pieces[0]
+        if op not in ALL_OPS:
+            raise AsmError('unknown opcode %r' % op, line_no)
+        operand_text = pieces[1] if len(pieces) > 1 else ''
+        operands = _split_operands(operand_text)
+
+        if op == 'call':
+            if len(operands) != 1:
+                raise AsmError('call NAME', line_no)
+            self.builder.call(operands[0])
+            return
+        if op == 'syscall':
+            if len(operands) != 1:
+                raise AsmError('syscall NAME', line_no)
+            name = operands[0]
+            code = _SYSCALLS.get(name)
+            if code is None:
+                try:
+                    code = int(name)
+                except ValueError:
+                    raise AsmError('unknown syscall %r' % name, line_no)
+            self.builder.emit('syscall', code, pred=pred)
+            return
+
+        values = [self._operand(op, index, text, line_no)
+                  for index, text in enumerate(operands)]
+        while len(values) < 3:
+            values.append(None)
+        self.builder.emit(op, values[0], values[1], values[2], pred=pred)
+
+    # operand kinds per op: which positions are registers
+    _REG_POSITIONS = {
+        'li': (0,), 'mov': (0, 1), 'addi': (0, 1),
+        'ld': (0, 1), 'st': (0, 1),
+        'br': (0,), 'push': (0,), 'pop': (0,),
+        'assert': (0,), 'malloc': (0, 1), 'free': (0,),
+        'jmp': (),
+    }
+
+    def _operand(self, op, index, text, line_no):
+        reg_positions = self._REG_POSITIONS.get(op, (0, 1, 2))
+        if index in reg_positions:
+            return self._register(text, line_no)
+        if text.startswith('"') and text.endswith('"'):
+            return text[1:-1]
+        if text.startswith("'") and text.endswith("'") and len(text) == 3:
+            return ord(text[1])
+        try:
+            return int(text, 0)
+        except ValueError:
+            pass
+        if text in self.globals:
+            return self.globals[text]
+        # label reference (forward references land in _pending)
+        label = self.labels.setdefault(text,
+                                       self.builder.new_label(text))
+        return label
+
+    def _register(self, text, line_no):
+        text = text.lower()
+        if text in _REG_ALIASES:
+            return _REG_ALIASES[text]
+        if text.startswith('r'):
+            try:
+                index = int(text[1:])
+            except ValueError:
+                raise AsmError('bad register %r' % text, line_no)
+            if 0 <= index < Reg.COUNT:
+                return index
+        raise AsmError('bad register %r' % text, line_no)
+
+    def _resolve_pending(self):
+        for name, label in self.labels.items():
+            if label.address is None:
+                raise AsmError('undefined label %r' % name, 0)
+
+
+def assemble(source, name='asm', entry='main'):
+    """Assemble source text into a runnable Program."""
+    return Assembler(name).assemble(source, entry=entry)

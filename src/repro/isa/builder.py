@@ -1,0 +1,154 @@
+"""Programmatic assembler: build Programs with labels and functions.
+
+The MiniC code generator and the hand-written test kernels both target
+this builder rather than emitting raw instruction lists, so label and
+function references are resolved in one place.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instr
+from repro.isa.program import Program
+
+
+class Label:
+    """A forward-referenceable code location."""
+
+    __slots__ = ('name', 'address')
+
+    def __init__(self, name):
+        self.name = name
+        self.address = None
+
+    def __repr__(self):
+        return '<Label %s @%s>' % (self.name, self.address)
+
+
+class _FuncRef:
+    __slots__ = ('name',)
+
+    def __init__(self, name):
+        self.name = name
+
+
+class ProgramBuilder:
+    """Accumulates instructions, then links them into a Program."""
+
+    def __init__(self, name='program'):
+        self.name = name
+        self._code = []
+        self._functions = {}
+        self._label_counter = 0
+        self._globals_size = 16      # cells 0..15 are the null guard
+        self._global_objects = []
+        self._blank_structs = {}
+        self._source_map = {}
+        self._current_func = None
+        self.data_image = {}
+
+    # ------------------------------------------------------------------
+    # layout of the global data segment
+
+    def alloc_global(self, name, size):
+        """Reserve ``size`` data words; returns the base address."""
+        if size <= 0:
+            raise ValueError('global %r must have positive size' % name)
+        base = self._globals_size
+        self._globals_size += size
+        self._global_objects.append((name, base, size))
+        return base
+
+    def alloc_gap(self, size=2):
+        """Reserve unregistered guard words between global objects.
+
+        Accesses landing here are classified as overruns by the memory
+        checkers (Purify-style global red zones).
+        """
+        base = self._globals_size
+        self._globals_size += size
+        return base
+
+    def alloc_string(self, text):
+        """Store a NUL-terminated string in globals; returns base."""
+        base = self.alloc_global('str:%r' % text[:16], len(text) + 1)
+        for offset, char in enumerate(text):
+            self.data_image[base + offset] = ord(char)
+        self.data_image[base + len(text)] = 0
+        return base
+
+    def set_data(self, addr, value):
+        self.data_image[addr] = value
+
+    def register_blank_struct(self, info):
+        self._blank_structs[info.type_name] = info
+
+    @property
+    def globals_size(self):
+        return self._globals_size
+
+    # ------------------------------------------------------------------
+    # code emission
+
+    @property
+    def here(self):
+        return len(self._code)
+
+    def func(self, name):
+        """Start a new function at the current address."""
+        if name in self._functions:
+            raise ValueError('duplicate function %r' % name)
+        self._functions[name] = self.here
+        self._current_func = name
+        return self.here
+
+    def new_label(self, hint='L'):
+        self._label_counter += 1
+        return Label('%s%d' % (hint, self._label_counter))
+
+    def bind(self, label):
+        if label.address is not None:
+            raise ValueError('label %s bound twice' % label.name)
+        label.address = self.here
+
+    def emit(self, op, a=None, b=None, c=None, pred=False, note=None):
+        instr = Instr(op, a, b, c, pred=pred)
+        if note is not None:
+            self._source_map[self.here] = '%s:%s' % (
+                self._current_func or '?', note)
+        self._code.append(instr)
+        return instr
+
+    def br(self, reg, label, pred=False, note=None):
+        return self.emit('br', reg, label, pred=pred, note=note)
+
+    def jmp(self, label, pred=False):
+        return self.emit('jmp', label, pred=pred)
+
+    def call(self, func_name):
+        return self.emit('call', _FuncRef(func_name), func_name)
+
+    # ------------------------------------------------------------------
+    # linking
+
+    def build(self, entry='main'):
+        if entry not in self._functions:
+            raise ValueError('no entry function %r' % entry)
+        for addr, instr in enumerate(self._code):
+            for field in ('a', 'b', 'c'):
+                value = getattr(instr, field)
+                if isinstance(value, Label):
+                    if value.address is None:
+                        raise ValueError('unbound label %s (instr %d)'
+                                         % (value.name, addr))
+                    setattr(instr, field, value.address)
+                elif isinstance(value, _FuncRef):
+                    if value.name not in self._functions:
+                        raise ValueError('call to unknown function %r'
+                                         % value.name)
+                    setattr(instr, field, self._functions[value.name])
+        return Program(
+            self._code, self._functions, self._functions[entry],
+            self._globals_size, global_objects=self._global_objects,
+            blank_structs=self._blank_structs,
+            source_map=self._source_map, name=self.name,
+            data_image=self.data_image)

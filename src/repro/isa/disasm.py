@@ -1,0 +1,84 @@
+"""Disassembler: render Programs back to readable listings."""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Reg, Syscall
+
+_REG_NAMES = {Reg.ZERO: 'zero', Reg.FP: 'fp', Reg.SP: 'sp',
+              Reg.FIX: 'fix', Reg.SCRATCH: 'scr'}
+_SYSCALL_NAMES = {
+    Syscall.PRINT_INT: 'print_int', Syscall.PUTC: 'putc',
+    Syscall.GETC: 'getc', Syscall.READ_INT: 'read_int',
+    Syscall.EXIT: 'exit', Syscall.RAND: 'rand', Syscall.TIME: 'time',
+}
+
+_REG_FIELDS = {
+    'li': ('r', 'i', None), 'mov': ('r', 'r', None),
+    'addi': ('r', 'r', 'i'),
+    'ld': ('r', 'r', 'i'), 'st': ('r', 'r', 'i'),
+    'br': ('r', 'a', None), 'jmp': ('a', None, None),
+    'push': ('r', None, None), 'pop': ('r', None, None),
+    'assert': ('r', 'i', None),
+    'malloc': ('r', 'r', None), 'free': ('r', None, None),
+}
+
+
+def reg_name(index):
+    return _REG_NAMES.get(index, 'r%d' % index)
+
+
+def format_instr(instr):
+    """One instruction as text (without its address)."""
+    op = instr.op
+    if op == 'syscall':
+        body = 'syscall %s' % _SYSCALL_NAMES.get(instr.a, instr.a)
+    elif op in ('halt', 'nop', 'ret'):
+        body = op
+    elif op == 'call':
+        body = 'call %s' % (instr.b if instr.b is not None else instr.a)
+    else:
+        kinds = _REG_FIELDS.get(op, ('r', 'r', 'r'))
+        parts = []
+        for kind, value in zip(kinds, (instr.a, instr.b, instr.c)):
+            if kind is None or value is None:
+                continue
+            if kind == 'r':
+                parts.append(reg_name(value))
+            elif kind == 'a':
+                parts.append('@%s' % value)
+            else:
+                parts.append(repr(value) if isinstance(value, str)
+                             else str(value))
+        body = '%s %s' % (op, ', '.join(parts))
+    if instr.pred:
+        body += '   <pred>'
+    return body
+
+
+def disassemble(program, start=0, end=None):
+    """A listing of ``program`` as a string.
+
+    Function entries are labelled; branch targets show absolute
+    addresses prefixed with ``@``.
+    """
+    end = len(program.code) if end is None else min(end,
+                                                    len(program.code))
+    entries = {addr: name for name, addr in program.functions.items()}
+    lines = []
+    for addr in range(start, end):
+        if addr in entries:
+            lines.append('%s:' % entries[addr])
+        lines.append('  %5d  %s' % (addr,
+                                    format_instr(program.code[addr])))
+    return '\n'.join(lines)
+
+
+def function_listing(program, name):
+    """Disassembly of a single function."""
+    if name not in program.functions:
+        raise KeyError('no function %r' % name)
+    start = program.functions[name]
+    following = sorted(addr for addr in program.functions.values()
+                       if addr > start)
+    end = following[0] if following else len(program.code)
+    return disassemble(program, start, end)

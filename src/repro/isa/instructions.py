@@ -1,0 +1,120 @@
+"""Instruction set for the PathExpander reproduction machine.
+
+The machine is a word-addressable, register-based RISC-like target.  It
+deliberately exposes exactly the features PathExpander's mechanisms act
+on: conditional branches with two edges, memory loads/stores, system
+calls (the "unsafe events" of the paper), and predicated instructions
+(used by the compiler-inserted variable fixes of Section 4.4).
+
+Every conditional control transfer is expressed as a comparison
+(``slt``/``seq``/...) followed by a single-form branch ``br reg, target``
+("branch if reg is non-zero").  Each ``br`` therefore has exactly two
+edges -- *taken* (to the target) and *not-taken* (fall-through) -- which
+is the unit the BTB exercise counters, the coverage tracker, and the
+NT-path spawner all operate on.
+"""
+
+from __future__ import annotations
+
+
+class Reg:
+    """Architectural register conventions (32 integer registers)."""
+
+    ZERO = 0          # hard-wired zero
+    RV = 1            # return value / first argument
+    A0, A1, A2, A3, A4, A5 = 1, 2, 3, 4, 5, 6
+    # r8..r27: expression temporaries managed by the compiler
+    T_FIRST = 8
+    T_LAST = 27
+    FIX = 28          # scratch register reserved for variable-fixing code
+    FP = 29           # frame pointer
+    SP = 30           # stack pointer
+    SCRATCH = 31      # assembler/runtime scratch
+    COUNT = 32
+
+
+# Operation mnemonics, grouped by category.
+ALU_OPS = frozenset({
+    'add', 'sub', 'mul', 'div', 'mod',
+    'and', 'or', 'xor', 'shl', 'shr',
+})
+CMP_OPS = frozenset({'slt', 'sle', 'seq', 'sne', 'sgt', 'sge'})
+MEM_OPS = frozenset({'ld', 'st'})
+CONTROL_OPS = frozenset({'br', 'jmp', 'call', 'ret', 'halt'})
+OTHER_OPS = frozenset({
+    'li', 'mov', 'addi', 'push', 'pop', 'syscall',
+    'assert', 'malloc', 'free', 'nop',
+})
+ALL_OPS = ALU_OPS | CMP_OPS | MEM_OPS | CONTROL_OPS | OTHER_OPS
+
+
+class Syscall:
+    """System-call codes.
+
+    Every syscall is an *unsafe event* for an NT-path (Section 3.2): its
+    side effects cannot be sandboxed, so the NT-path is squashed when it
+    reaches one.
+    """
+
+    PRINT_INT = 1     # write integer in A1 to the output stream
+    PUTC = 2          # write character code in A1 to the output stream
+    GETC = 3          # RV <- next input character (-1 on EOF)
+    READ_INT = 4      # RV <- next input integer (-1 on EOF)
+    EXIT = 5          # terminate the program
+    RAND = 6          # RV <- pseudo-random value (host entropy: unsafe)
+    TIME = 7          # RV <- wall-clock stand-in (host state: unsafe)
+
+    ALL = frozenset({PRINT_INT, PUTC, GETC, READ_INT, EXIT, RAND, TIME})
+
+
+class Instr:
+    """One machine instruction.
+
+    ``a``, ``b``, ``c`` are operands whose meaning depends on ``op``:
+
+    =========  =============================================
+    op         operands
+    =========  =============================================
+    li         a=rd, b=immediate
+    mov        a=rd, b=rs
+    ALU        a=rd, b=rs, c=rt
+    addi       a=rd, b=rs, c=immediate
+    CMP        a=rd, b=rs, c=rt
+    ld         a=rd, b=base reg, c=immediate offset
+    st         a=value reg, b=base reg, c=immediate offset
+    br         a=condition reg, b=target address
+    jmp        a=target address
+    call       a=target address, b=function name
+    ret        --
+    push       a=rs
+    pop        a=rd
+    syscall    a=code
+    assert     a=condition reg, b=assertion id (str)
+    malloc     a=rd, b=size reg
+    free       a=rs
+    halt/nop   --
+    =========  =============================================
+
+    ``pred`` marks a predicated instruction: it executes only while the
+    core's predicate register is set (i.e. at the entrance of an
+    NT-path) and behaves as a NOP otherwise (Section 4.4).
+    """
+
+    __slots__ = ('op', 'a', 'b', 'c', 'pred', 'src')
+
+    def __init__(self, op, a=None, b=None, c=None, pred=False, src=None):
+        if op not in ALL_OPS:
+            raise ValueError('unknown opcode: %r' % (op,))
+        self.op = op
+        self.a = a
+        self.b = b
+        self.c = c
+        self.pred = pred
+        self.src = src    # optional (function, note) provenance tag
+
+    def __repr__(self):
+        operands = [v for v in (self.a, self.b, self.c) if v is not None]
+        text = '%s %s' % (self.op, ', '.join(map(str, operands)))
+        if self.pred:
+            text += ' <p>'
+        return '<Instr %s>' % text

@@ -1,0 +1,134 @@
+"""Set-associative cache model with volatile/version tagging.
+
+This models the L1 behaviour PathExpander relies on (Sections 4.1-4.3):
+
+* NT-path stores are buffered in L1 lines marked with a *volatile tag*
+  (standard configuration) or an 8-bit *path ID* (CMP optimisation).
+* Squashing a path gang-invalidates all of its lines.
+* A set that would need more volatile lines than it has ways signals a
+  capacity overflow -- the NT-path cannot be sandboxed further and must
+  be squashed (the paper chose the cache over a store buffer precisely
+  to make this rare).
+* On the taken path, displacing a dirty uncommitted line forces the
+  owning segment to commit, which squashes its sibling NT-path.
+
+The cache is a *state/timing* model: data values live in
+:class:`~repro.memory.main_memory.MainMemory`; the cache tracks tags,
+LRU order, latency, and ownership.
+"""
+
+from __future__ import annotations
+
+COMMITTED = 0       # version id reserved for committed data
+
+
+class CacheLine:
+    __slots__ = ('tag', 'version', 'dirty', 'lru')
+
+    def __init__(self, tag, version, dirty, lru):
+        self.tag = tag
+        self.version = version
+        self.dirty = dirty
+        self.lru = lru
+
+
+class AccessResult:
+    __slots__ = ('cycles', 'hit', 'volatile_overflow', 'displaced_dirty')
+
+    def __init__(self, cycles, hit, volatile_overflow=False,
+                 displaced_dirty=None):
+        self.cycles = cycles
+        self.hit = hit
+        self.volatile_overflow = volatile_overflow
+        self.displaced_dirty = displaced_dirty   # version id or None
+
+
+class Cache:
+    """One level of set-associative cache."""
+
+    def __init__(self, size_bytes=16384, ways=4, line_bytes=32,
+                 hit_latency=3, miss_latency=10, word_bytes=4):
+        self.line_words = line_bytes // word_bytes
+        self.num_lines = size_bytes // line_bytes
+        self.num_sets = self.num_lines // ways
+        self.ways = ways
+        self.hit_latency = hit_latency
+        self.miss_latency = miss_latency
+        self._sets = [[] for _ in range(self.num_sets)]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, addr):
+        line_no = addr // self.line_words
+        return self._sets[line_no % self.num_sets], line_no
+
+    def access(self, addr, is_write, version=COMMITTED):
+        """Simulate one access; returns an :class:`AccessResult`."""
+        self._tick += 1
+        lines, tag = self._locate(addr)
+        for line in lines:
+            if line.tag == tag and line.version in (version, COMMITTED):
+                # A committed line written by a speculative path takes
+                # on that path's version (copy-on-write at line level).
+                if is_write:
+                    line.dirty = True
+                    if version != COMMITTED:
+                        line.version = version
+                line.lru = self._tick
+                self.hits += 1
+                return AccessResult(self.hit_latency, True)
+        # miss: allocate
+        self.misses += 1
+        overflow = False
+        displaced_dirty = None
+        if len(lines) >= self.ways:
+            victim = min(
+                (line for line in lines if line.version == COMMITTED),
+                key=lambda line: line.lru, default=None)
+            if victim is None:
+                # Every way holds an uncommitted (volatile) line.
+                overflow = True
+                victim = min(lines, key=lambda line: line.lru)
+            if victim.dirty:
+                displaced_dirty = victim.version
+            lines.remove(victim)
+        lines.append(CacheLine(tag, version if is_write else COMMITTED,
+                               is_write, self._tick))
+        return AccessResult(self.miss_latency, False,
+                            volatile_overflow=overflow,
+                            displaced_dirty=displaced_dirty)
+
+    def gang_invalidate(self, version):
+        """Drop every line owned by ``version`` (NT-path squash)."""
+        dropped = 0
+        for lines in self._sets:
+            keep = [line for line in lines if line.version != version]
+            dropped += len(lines) - len(keep)
+            lines[:] = keep
+        return dropped
+
+    def commit_version(self, version):
+        """Lazily retag ``version`` lines as committed (segment commit)."""
+        changed = 0
+        for lines in self._sets:
+            for line in lines:
+                if line.version == version:
+                    line.version = COMMITTED
+                    changed += 1
+        return changed
+
+    def volatile_lines(self, version=None):
+        count = 0
+        for lines in self._sets:
+            for line in lines:
+                if line.version != COMMITTED and (
+                        version is None or line.version == version):
+                    count += 1
+        return count
+
+    def reset(self):
+        self._sets = [[] for _ in range(self.num_sets)]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0

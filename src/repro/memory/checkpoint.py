@@ -1,0 +1,32 @@
+"""Processor-state checkpoints for NT-path spawn/rollback."""
+
+from __future__ import annotations
+
+
+class Checkpoint:
+    """Everything needed to resume the taken path after a squash.
+
+    Captures architectural registers, the program counter, the call
+    stack bookkeeping, and the (small) allocator metadata.  Memory
+    contents are handled separately by the memory journal / versioned
+    cache, matching the hardware split of Section 4.2(2).
+    """
+
+    __slots__ = ('regs', 'pc', 'pred', 'call_depth', 'alloc_snapshot',
+                 'lcg_state')
+
+    def __init__(self, core, allocator):
+        self.regs = list(core.regs)
+        self.pc = core.pc
+        self.pred = core.pred
+        self.call_depth = core.call_depth
+        self.alloc_snapshot = allocator.snapshot()
+        self.lcg_state = core.lcg_state
+
+    def restore(self, core, allocator):
+        core.regs[:] = self.regs
+        core.pc = self.pc
+        core.pred = self.pred
+        core.call_depth = self.call_depth
+        core.lcg_state = self.lcg_state
+        allocator.restore(self.alloc_snapshot)

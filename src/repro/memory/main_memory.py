@@ -1,0 +1,130 @@
+"""Word-addressable main memory with an undo-log sandbox.
+
+Layout (word addresses)::
+
+    [0, NULL_GUARD)                null guard -- any access faults
+    [NULL_GUARD, heap_base)        globals (incl. strings, blank structs)
+    [heap_base, stack_limit)       heap, managed by the allocator
+    [stack_limit, size)            stack, grows downward from ``size``
+
+The *monitor memory area* (Section 4.1) is a dedicated region carved
+from the top of the globals segment: writes to it are never captured by
+the sandbox undo log, so error reports produced during an NT-path
+survive the rollback.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.exceptions import FaultKind, SimFault
+
+NULL_GUARD = 16
+DEFAULT_SIZE = 1 << 20            # 1M words
+MONITOR_AREA_WORDS = 256
+
+
+class MainMemory:
+    """Flat memory with optional write journaling for sandboxing.
+
+    Journaling implements the hardware sandbox functionally: while a
+    journal is active every first write to an address records the old
+    value, and :meth:`rollback` restores them in reverse.  The hardware
+    buffers NT-path stores in volatile L1 lines instead; the observable
+    semantics (all NT-path stores disappear on squash, monitor-area
+    stores survive) are identical.
+    """
+
+    def __init__(self, size=DEFAULT_SIZE, globals_size=NULL_GUARD,
+                 stack_words=1 << 16):
+        if globals_size < NULL_GUARD:
+            globals_size = NULL_GUARD
+        self.size = size
+        self.cells = [0] * size
+        self.monitor_base = globals_size
+        self.monitor_limit = globals_size + MONITOR_AREA_WORDS
+        self.heap_base = self.monitor_limit
+        # Leave at least half the address space to globals + heap.
+        stack_words = min(stack_words, size // 2)
+        self.stack_limit = size - stack_words
+        if self.stack_limit <= self.heap_base:
+            raise ValueError('memory too small for the requested layout')
+        self.stack_top = size
+        self._journal = None
+
+    # ------------------------------------------------------------------
+    # sandboxing
+
+    def begin_journal(self):
+        if self._journal is not None:
+            raise RuntimeError('journal already active')
+        self._journal = {}
+
+    def rollback(self):
+        journal = self._journal
+        if journal is None:
+            raise RuntimeError('no active journal')
+        cells = self.cells
+        for addr, old in journal.items():
+            cells[addr] = old
+        self._journal = None
+        return len(journal)
+
+    def commit_journal(self):
+        journal = self._journal
+        if journal is None:
+            raise RuntimeError('no active journal')
+        self._journal = None
+        return len(journal)
+
+    @property
+    def journal_size(self):
+        return len(self._journal) if self._journal is not None else 0
+
+    def in_monitor_area(self, addr):
+        return self.monitor_base <= addr < self.monitor_limit
+
+    # ------------------------------------------------------------------
+    # access
+
+    def _check(self, addr):
+        if addr < NULL_GUARD or addr >= self.size:
+            if 0 <= addr < NULL_GUARD or -NULL_GUARD < addr < 0:
+                raise SimFault(FaultKind.NULL_ACCESS,
+                               'address %d' % addr, addr=addr)
+            raise SimFault(FaultKind.MEM_OOB, 'address %d' % addr, addr=addr)
+
+    def read(self, addr):
+        self._check(addr)
+        return self.cells[addr]
+
+    def write(self, addr, value):
+        self._check(addr)
+        journal = self._journal
+        if journal is not None and addr not in journal \
+                and not (self.monitor_base <= addr < self.monitor_limit):
+            journal[addr] = self.cells[addr]
+        self.cells[addr] = value
+
+    # convenience for loaders/tests (no journaling, still checked)
+    def write_block(self, base, values):
+        for offset, value in enumerate(values):
+            self.write(base + offset, value)
+
+    def read_block(self, base, count):
+        return [self.read(base + offset) for offset in range(count)]
+
+    def store_string(self, base, text):
+        """Store a NUL-terminated string at ``base``."""
+        for offset, char in enumerate(text):
+            self.write(base + offset, ord(char))
+        self.write(base + len(text), 0)
+
+    def load_string(self, base, max_len=4096):
+        chars = []
+        addr = base
+        while len(chars) < max_len:
+            value = self.read(addr)
+            if value == 0:
+                break
+            chars.append(chr(value & 0x10FFFF))
+            addr += 1
+        return ''.join(chars)

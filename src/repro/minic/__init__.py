@@ -1,0 +1,6 @@
+"""The MiniC compiler."""
+
+from repro.minic.codegen import Compiler, compile_minic
+from repro.minic.types import MiniCError
+
+__all__ = ['compile_minic', 'Compiler', 'MiniCError']

@@ -1,0 +1,246 @@
+"""MiniC abstract syntax tree."""
+
+from __future__ import annotations
+
+
+class Node:
+    __slots__ = ('line',)
+
+    def __init__(self, line=None):
+        self.line = line
+
+
+# ---------------------------------------------------------------------
+# top level
+
+class TranslationUnit(Node):
+    __slots__ = ('structs', 'globals', 'functions')
+
+    def __init__(self, structs, globals_, functions):
+        super().__init__()
+        self.structs = structs
+        self.globals = globals_
+        self.functions = functions
+
+
+class StructDecl(Node):
+    __slots__ = ('name', 'fields')
+
+    def __init__(self, name, fields, line=None):
+        super().__init__(line)
+        self.name = name
+        self.fields = fields            # list of (type_spec, name)
+
+
+class GlobalDecl(Node):
+    __slots__ = ('type_spec', 'name', 'array_size', 'init')
+
+    def __init__(self, type_spec, name, array_size, init, line=None):
+        super().__init__(line)
+        self.type_spec = type_spec
+        self.name = name
+        self.array_size = array_size    # None or int
+        self.init = init                # None, int const, or list of ints
+
+
+class FuncDecl(Node):
+    __slots__ = ('ret_type', 'name', 'params', 'body')
+
+    def __init__(self, ret_type, name, params, body, line=None):
+        super().__init__(line)
+        self.ret_type = ret_type
+        self.name = name
+        self.params = params            # list of (type_spec, name)
+        self.body = body
+
+
+# ---------------------------------------------------------------------
+# statements
+
+class Block(Node):
+    __slots__ = ('stmts',)
+
+    def __init__(self, stmts, line=None):
+        super().__init__(line)
+        self.stmts = stmts
+
+
+class Decl(Node):
+    __slots__ = ('type_spec', 'name', 'array_size', 'init')
+
+    def __init__(self, type_spec, name, array_size, init, line=None):
+        super().__init__(line)
+        self.type_spec = type_spec
+        self.name = name
+        self.array_size = array_size
+        self.init = init                # expression or None
+
+
+class ExprStmt(Node):
+    __slots__ = ('expr',)
+
+    def __init__(self, expr, line=None):
+        super().__init__(line)
+        self.expr = expr
+
+
+class If(Node):
+    __slots__ = ('cond', 'then', 'els')
+
+    def __init__(self, cond, then, els, line=None):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+
+class While(Node):
+    __slots__ = ('cond', 'body')
+
+    def __init__(self, cond, body, line=None):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class For(Node):
+    __slots__ = ('init', 'cond', 'step', 'body')
+
+    def __init__(self, init, cond, step, body, line=None):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Return(Node):
+    __slots__ = ('expr',)
+
+    def __init__(self, expr, line=None):
+        super().__init__(line)
+        self.expr = expr
+
+
+class Break(Node):
+    __slots__ = ()
+
+
+class Continue(Node):
+    __slots__ = ()
+
+
+class Assert(Node):
+    __slots__ = ('cond', 'label')
+
+    def __init__(self, cond, label, line=None):
+        super().__init__(line)
+        self.cond = cond
+        self.label = label
+
+
+# ---------------------------------------------------------------------
+# expressions
+
+class Num(Node):
+    __slots__ = ('value',)
+
+    def __init__(self, value, line=None):
+        super().__init__(line)
+        self.value = value
+
+
+class Str(Node):
+    __slots__ = ('value',)
+
+    def __init__(self, value, line=None):
+        super().__init__(line)
+        self.value = value
+
+
+class Var(Node):
+    __slots__ = ('name',)
+
+    def __init__(self, name, line=None):
+        super().__init__(line)
+        self.name = name
+
+
+class Assign(Node):
+    __slots__ = ('target', 'value')
+
+    def __init__(self, target, value, line=None):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+
+
+class Binary(Node):
+    __slots__ = ('op', 'left', 'right')
+
+    def __init__(self, op, left, right, line=None):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Unary(Node):
+    __slots__ = ('op', 'operand')
+
+    def __init__(self, op, operand, line=None):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Call(Node):
+    __slots__ = ('name', 'args')
+
+    def __init__(self, name, args, line=None):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+
+
+class Index(Node):
+    __slots__ = ('base', 'index')
+
+    def __init__(self, base, index, line=None):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class Deref(Node):
+    __slots__ = ('operand',)
+
+    def __init__(self, operand, line=None):
+        super().__init__(line)
+        self.operand = operand
+
+
+class AddrOf(Node):
+    __slots__ = ('operand',)
+
+    def __init__(self, operand, line=None):
+        super().__init__(line)
+        self.operand = operand
+
+
+class Member(Node):
+    __slots__ = ('base', 'field', 'arrow')
+
+    def __init__(self, base, field, arrow, line=None):
+        super().__init__(line)
+        self.base = base
+        self.field = field
+        self.arrow = arrow
+
+
+class SizeOf(Node):
+    __slots__ = ('type_spec',)
+
+    def __init__(self, type_spec, line=None):
+        super().__init__(line)
+        self.type_spec = type_spec

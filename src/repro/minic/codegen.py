@@ -1,0 +1,885 @@
+"""MiniC code generator.
+
+Lowers the AST onto the PathExpander ISA via
+:class:`~repro.isa.builder.ProgramBuilder`.  Two properties matter to
+PathExpander and are established here:
+
+* **Memory-resident variables.**  Locals live in stack frames and
+  globals in the data segment; every use re-loads from memory.  This is
+  what makes the Section 4.4 variable fixes (predicated *stores*)
+  effective on NT-paths.
+* **Fix blocks on both edges.**  At every conditional branch whose
+  condition the :mod:`repro.minic.fixer` analysis understands, both the
+  taken-edge head and the fall-through-edge head begin with predicated
+  instructions that force the condition variable to a value consistent
+  with that edge.  On a normal run the predicate register is clear and
+  they cost a NOP; at an NT-path entrance they execute once.
+
+Global objects are laid out with 2-word guard gaps (the global
+analogue of heap red zones) and the compiler emits one *blank data
+structure* per pointed-to type for the pointer fixes of Section 4.4.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Reg, Syscall
+from repro.isa.program import BlankStructInfo
+from repro.minic import ast_nodes as ast
+from repro.minic.fixer import analyze_condition
+from repro.minic.parser import parse
+from repro.minic.sema import (BUILTINS, FuncSym, GlobalSym, LocalSym,
+                              Scope, TypeTable)
+from repro.minic.types import (INT, ArrayType, MiniCError, PtrType,
+                               StructType)
+
+_MAX_ARGS = 6
+_BLANK_MIN_WORDS = 32
+_GLOBAL_GAP = 2
+
+
+class _LoopContext:
+    __slots__ = ('break_label', 'continue_label')
+
+    def __init__(self, break_label, continue_label):
+        self.break_label = break_label
+        self.continue_label = continue_label
+
+
+class _ExtendedFix:
+    """A fix recipe for lvalues beyond simple variables.
+
+    Implements the paper's future-work direction of "more sophisticated
+    consistency fix": conditions over struct fields and
+    constant-indexed array elements whose addresses are statically
+    known.  ``store(compiler)`` emits the predicated store of the FIX
+    register into the condition lvalue.
+    """
+
+    __slots__ = ('op', 'const_value', 'store', 'pointee_type')
+
+    def __init__(self, op, const_value, store, pointee_type=None):
+        self.op = op
+        self.const_value = const_value
+        self.store = store
+        self.pointee_type = pointee_type
+
+    def delta(self, branch_true):
+        from repro.minic.fixer import _DELTAS
+        true_delta, false_delta = _DELTAS[self.op]
+        return true_delta if branch_true else false_delta
+
+    def pointer_is_null(self, branch_true):
+        if self.op == '==':
+            return branch_true
+        return not branch_true
+
+
+class Compiler:
+    """Compiles one MiniC translation unit into a Program."""
+
+    def __init__(self, name='program', insert_fixes=True,
+                 extended_fixes=False):
+        self.name = name
+        self.insert_fixes = insert_fixes
+        self.extended_fixes = extended_fixes
+        self.builder = ProgramBuilder(name)
+        self.types = TypeTable()
+        self.globals = {}
+        self.functions = {}
+        self._blank_addrs = {}
+        self._scope = None
+        self._next_temp = Reg.T_FIRST
+        self._frame_words = 0
+        self._frame_max = 0
+        self._epilogue = None
+        self._loops = []
+        self._current_ret = None
+        self._string_pool = {}
+
+    # ==================================================================
+    # top level
+
+    def compile(self, source):
+        unit = parse(source)
+        for struct in unit.structs:
+            self.types.declare_struct(struct)
+        # Blank data structures (Section 4.4) come first in the data
+        # segment: one per struct type plus the generic int blank.
+        # Placing them below the first user global also means small
+        # negative indexing off the first global lands in checkable
+        # data (as it would on real hardware) instead of the null page.
+        self._blank_addr(INT)
+        for struct in self.types.structs.values():
+            self._blank_addr(struct)
+        for decl in unit.globals:
+            self._declare_global(decl)
+        for func in unit.functions:
+            if func.name in self.functions or func.name in BUILTINS:
+                raise MiniCError('duplicate function %r' % func.name,
+                                 func.line)
+            ret_type = self.types.resolve(func.ret_type, func.line)
+            param_types = [self.types.resolve(spec, func.line)
+                           for spec, _name in func.params]
+            for ptype in param_types:
+                if isinstance(ptype, (StructType, ArrayType)):
+                    raise MiniCError('struct/array parameters are not '
+                                     'supported', func.line)
+            if isinstance(ret_type, (StructType, ArrayType)):
+                raise MiniCError('struct/array return is not supported',
+                                 func.line)
+            self.functions[func.name] = FuncSym(func.name, ret_type,
+                                                param_types, func)
+        if 'main' not in self.functions:
+            raise MiniCError('no main() function')
+        builder = self.builder
+        builder.func('_start')
+        builder.call('main')
+        builder.emit('halt')
+        for func in self.functions.values():
+            self._compile_function(func)
+        return builder.build(entry='_start')
+
+    def _declare_global(self, decl):
+        if decl.name in self.globals:
+            raise MiniCError('duplicate global %r' % decl.name, decl.line)
+        base_type = self.types.resolve(decl.type_spec, decl.line)
+        if decl.array_size is not None:
+            if decl.array_size <= 0:
+                raise MiniCError('bad array size', decl.line)
+            var_type = ArrayType(base_type, decl.array_size)
+        else:
+            var_type = base_type
+        address = self.builder.alloc_global(decl.name, var_type.size)
+        self.builder.alloc_gap(_GLOBAL_GAP)
+        self.globals[decl.name] = GlobalSym(decl.name, var_type, address)
+        self._init_global(address, var_type, decl)
+
+    def _init_global(self, address, var_type, decl):
+        init = decl.init
+        if init is None:
+            return
+        if isinstance(init, str):
+            if not isinstance(var_type, ArrayType):
+                raise MiniCError('string initialiser needs an array',
+                                 decl.line)
+            if len(init) + 1 > var_type.size:
+                raise MiniCError('string initialiser too long', decl.line)
+            for offset, char in enumerate(init):
+                self.builder.set_data(address + offset, ord(char))
+            self.builder.set_data(address + len(init), 0)
+        elif isinstance(init, list):
+            if not isinstance(var_type, ArrayType) \
+                    or len(init) > var_type.count:
+                raise MiniCError('bad array initialiser', decl.line)
+            for offset, value in enumerate(init):
+                self.builder.set_data(address + offset, value)
+        else:
+            self.builder.set_data(address, init)
+
+    def _blank_addr(self, pointee):
+        key = repr(pointee)
+        if key not in self._blank_addrs:
+            size = max(pointee.size, _BLANK_MIN_WORDS)
+            address = self.builder.alloc_global('blank:%s' % key, size)
+            self.builder.alloc_gap(_GLOBAL_GAP)
+            self._blank_addrs[key] = address
+            self.builder.register_blank_struct(
+                BlankStructInfo(key, address, size))
+        return self._blank_addrs[key]
+
+    # ==================================================================
+    # functions
+
+    def _compile_function(self, func_sym):
+        decl = func_sym.decl
+        builder = self.builder
+        builder.func(decl.name)
+        self._scope = Scope()
+        self._frame_words = 0
+        self._frame_max = 0
+        self._epilogue = builder.new_label('epi_%s' % decl.name)
+        self._current_ret = func_sym.ret_type
+        if len(decl.params) > _MAX_ARGS:
+            raise MiniCError('too many parameters', decl.line)
+
+        builder.emit('push', Reg.FP)
+        builder.emit('mov', Reg.FP, Reg.SP)
+        frame_instr = builder.emit('addi', Reg.SP, Reg.SP, 0)
+        for index, (spec, name) in enumerate(decl.params):
+            ptype = self.types.resolve(spec, decl.line)
+            offset = self._alloc_frame(ptype.size)
+            self._scope.define(LocalSym(name, ptype, offset), decl.line)
+            builder.emit('st', Reg.A0 + index, Reg.FP, offset)
+
+        self._stmt(decl.body)
+
+        builder.bind(self._epilogue)
+        builder.emit('mov', Reg.SP, Reg.FP)
+        builder.emit('pop', Reg.FP)
+        builder.emit('ret')
+        frame_instr.c = -self._frame_max
+        self._scope = None
+
+    def _alloc_frame(self, size):
+        self._frame_words += size
+        if self._frame_words > self._frame_max:
+            self._frame_max = self._frame_words
+        return -self._frame_words
+
+    # ==================================================================
+    # temp registers
+
+    def _alloc_temp(self):
+        reg = self._next_temp
+        if reg > Reg.T_LAST:
+            raise MiniCError('expression too complex (temps exhausted)')
+        self._next_temp = reg + 1
+        return reg
+
+    # ==================================================================
+    # statements
+
+    def _stmt(self, node):
+        mark = self._next_temp
+        method = self._STMTS[type(node)]
+        method(self, node)
+        self._next_temp = mark
+
+    def _stmt_block(self, node):
+        self._scope = Scope(self._scope)
+        saved_frame = self._frame_words
+        for stmt in node.stmts:
+            self._stmt(stmt)
+        self._frame_words = saved_frame
+        self._scope = self._scope.parent
+
+    def _stmt_decl(self, node):
+        base_type = self.types.resolve(node.type_spec, node.line)
+        if node.array_size is not None:
+            if node.array_size <= 0:
+                raise MiniCError('bad array size', node.line)
+            var_type = ArrayType(base_type, node.array_size)
+        else:
+            var_type = base_type
+        offset = self._alloc_frame(var_type.size)
+        self._scope.define(LocalSym(node.name, var_type, offset),
+                           node.line)
+        if node.init is not None:
+            if isinstance(var_type, (ArrayType, StructType)):
+                raise MiniCError('cannot initialise aggregates',
+                                 node.line)
+            reg, _rtype = self._expr(node.init)
+            self.builder.emit('st', reg, Reg.FP, offset)
+
+    def _stmt_expr(self, node):
+        self._expr(node.expr)
+
+    def _stmt_if(self, node):
+        builder = self.builder
+        then_label = builder.new_label('then')
+        end_label = builder.new_label('endif')
+        fix = self._condition_fix(node.cond)
+        reg, _ = self._expr(node.cond)
+        builder.br(reg, then_label)
+        # fall-through: FALSE edge head
+        self._emit_fix(fix, branch_true=False)
+        if node.els is not None:
+            self._stmt(node.els)
+        builder.jmp(end_label)
+        builder.bind(then_label)
+        self._emit_fix(fix, branch_true=True)
+        self._stmt(node.then)
+        builder.bind(end_label)
+
+    def _stmt_while(self, node):
+        builder = self.builder
+        cond_label = builder.new_label('wcond')
+        body_label = builder.new_label('wbody')
+        end_label = builder.new_label('wend')
+        builder.bind(cond_label)
+        fix = self._condition_fix(node.cond)
+        mark = self._next_temp
+        reg, _ = self._expr(node.cond)
+        self._next_temp = mark
+        builder.br(reg, body_label)
+        self._emit_fix(fix, branch_true=False)
+        builder.jmp(end_label)
+        builder.bind(body_label)
+        self._emit_fix(fix, branch_true=True)
+        self._loops.append(_LoopContext(end_label, cond_label))
+        self._stmt(node.body)
+        self._loops.pop()
+        builder.jmp(cond_label)
+        builder.bind(end_label)
+
+    def _stmt_for(self, node):
+        builder = self.builder
+        self._scope = Scope(self._scope)
+        saved_frame = self._frame_words
+        if node.init is not None:
+            self._stmt(node.init)
+        cond_label = builder.new_label('fcond')
+        body_label = builder.new_label('fbody')
+        step_label = builder.new_label('fstep')
+        end_label = builder.new_label('fend')
+        builder.bind(cond_label)
+        if node.cond is not None:
+            fix = self._condition_fix(node.cond)
+            mark = self._next_temp
+            reg, _ = self._expr(node.cond)
+            self._next_temp = mark
+            builder.br(reg, body_label)
+            self._emit_fix(fix, branch_true=False)
+            builder.jmp(end_label)
+            builder.bind(body_label)
+            self._emit_fix(fix, branch_true=True)
+        self._loops.append(_LoopContext(end_label, step_label))
+        self._stmt(node.body)
+        self._loops.pop()
+        builder.bind(step_label)
+        if node.step is not None:
+            mark = self._next_temp
+            self._expr(node.step)
+            self._next_temp = mark
+        builder.jmp(cond_label)
+        builder.bind(end_label)
+        self._frame_words = saved_frame
+        self._scope = self._scope.parent
+
+    def _stmt_return(self, node):
+        if node.expr is not None:
+            reg, _ = self._expr(node.expr)
+            self.builder.emit('mov', Reg.RV, reg)
+        self.builder.jmp(self._epilogue)
+
+    def _stmt_break(self, node):
+        if not self._loops:
+            raise MiniCError('break outside loop', node.line)
+        self.builder.jmp(self._loops[-1].break_label)
+
+    def _stmt_continue(self, node):
+        if not self._loops:
+            raise MiniCError('continue outside loop', node.line)
+        self.builder.jmp(self._loops[-1].continue_label)
+
+    def _stmt_assert(self, node):
+        reg, _ = self._expr(node.cond)
+        self.builder.emit('assert', reg, node.label)
+
+    # ==================================================================
+    # variable-fixing support
+
+    def _fix_lookup_type(self, name):
+        sym = self._scope.lookup(name) if self._scope else None
+        if sym is None:
+            sym = self.globals.get(name)
+        if sym is None:
+            return None
+        if isinstance(sym.type, (ArrayType, StructType)):
+            return None
+        return sym.type
+
+    def _condition_fix(self, cond):
+        if not self.insert_fixes:
+            return None
+        fix = analyze_condition(cond, self._fix_lookup_type)
+        if fix is None and self.extended_fixes:
+            fix = self._extended_condition_fix(cond)
+        return fix
+
+    # -- extended fixing (struct fields, constant array indices) -------
+
+    def _static_lvalue(self, node):
+        """(store_emitter, value_type) for a statically addressable
+        lvalue, or None."""
+        if isinstance(node, ast.Member) and not node.arrow \
+                and isinstance(node.base, ast.Var):
+            sym = self._scope.lookup(node.base.name) if self._scope \
+                else None
+            if sym is None:
+                sym = self.globals.get(node.base.name)
+            if sym is None or not isinstance(sym.type, StructType):
+                return None
+            offset, ftype = sym.type.field(node.field)
+            if isinstance(ftype, (ArrayType, StructType)):
+                return None
+            return self._make_store(sym, offset), ftype
+        if isinstance(node, ast.Index) and isinstance(node.base, ast.Var) \
+                and isinstance(node.index, ast.Num):
+            sym = self._scope.lookup(node.base.name) if self._scope \
+                else None
+            if sym is None:
+                sym = self.globals.get(node.base.name)
+            if sym is None or not isinstance(sym.type, ArrayType):
+                return None
+            elem = sym.type.elem
+            if isinstance(elem, (ArrayType, StructType)):
+                return None
+            index = node.index.value
+            if not 0 <= index < sym.type.count:
+                return None
+            return self._make_store(sym, index * elem.size), elem
+        return None
+
+    def _make_store(self, sym, offset):
+        builder = self.builder
+        if isinstance(sym, LocalSym):
+            def store():
+                builder.emit('st', Reg.FIX, Reg.FP, sym.offset + offset,
+                             pred=True)
+        else:
+            def store():
+                builder.emit('st', Reg.FIX, Reg.ZERO,
+                             sym.address + offset, pred=True)
+        return store
+
+    def _extended_condition_fix(self, cond):
+        from repro.minic.fixer import _DELTAS, _MIRROR
+        if not isinstance(cond, ast.Binary) or cond.op not in _DELTAS:
+            # bare lvalue used as a condition
+            located = self._static_lvalue(cond)
+            if located is None:
+                return None
+            store, vtype = located
+            if vtype.is_pointer():
+                return _ExtendedFix('!=', 0, store,
+                                    pointee_type=vtype.pointee)
+            return _ExtendedFix('!=', 0, store)
+        left, right, op = cond.left, cond.right, cond.op
+        if isinstance(left, ast.Num) and not isinstance(right, ast.Num):
+            left, right, op = right, left, _MIRROR[op]
+        if not isinstance(right, ast.Num):
+            return None
+        located = self._static_lvalue(left)
+        if located is None:
+            return None
+        store, vtype = located
+        if vtype.is_pointer():
+            if right.value == 0 and op in ('==', '!='):
+                return _ExtendedFix(op, 0, store,
+                                    pointee_type=vtype.pointee)
+            return None
+        return _ExtendedFix(op, right.value, store)
+
+    def _fix_store(self, name):
+        sym = self._scope.lookup(name) if self._scope else None
+        if sym is not None:
+            self.builder.emit('st', Reg.FIX, Reg.FP, sym.offset,
+                              pred=True)
+        else:
+            gsym = self.globals[name]
+            self.builder.emit('st', Reg.FIX, Reg.ZERO, gsym.address,
+                              pred=True)
+
+    def _fix_load(self, name):
+        sym = self._scope.lookup(name) if self._scope else None
+        if sym is not None:
+            self.builder.emit('ld', Reg.FIX, Reg.FP, sym.offset,
+                              pred=True)
+        else:
+            gsym = self.globals[name]
+            self.builder.emit('ld', Reg.FIX, Reg.ZERO, gsym.address,
+                              pred=True)
+
+    def _emit_fix(self, fix, branch_true):
+        if fix is None:
+            return
+        builder = self.builder
+        if isinstance(fix, _ExtendedFix):
+            if fix.pointee_type is not None:
+                if fix.pointer_is_null(branch_true):
+                    builder.emit('li', Reg.FIX, 0, pred=True)
+                else:
+                    builder.emit('li', Reg.FIX,
+                                 self._blank_addr(fix.pointee_type),
+                                 pred=True)
+            else:
+                value = fix.const_value + fix.delta(branch_true)
+                builder.emit('li', Reg.FIX, value, pred=True)
+            fix.store()
+            return
+        if fix.kind == 'const':
+            value = fix.const_value + fix.delta(branch_true)
+            builder.emit('li', Reg.FIX, value, pred=True)
+            self._fix_store(fix.var_name)
+        elif fix.kind == 'var':
+            self._fix_load(fix.other_name)
+            delta = fix.delta(branch_true)
+            if delta:
+                builder.emit('addi', Reg.FIX, Reg.FIX, delta, pred=True)
+            self._fix_store(fix.var_name)
+        else:   # pointer
+            if fix.pointer_is_null(branch_true):
+                builder.emit('li', Reg.FIX, 0, pred=True)
+            else:
+                builder.emit('li', Reg.FIX,
+                             self._blank_addr(fix.pointee_type),
+                             pred=True)
+            self._fix_store(fix.var_name)
+
+    # ==================================================================
+    # expressions: every _expr returns (register, Type)
+
+    def _expr(self, node):
+        return self._EXPRS[type(node)](self, node)
+
+    def _expr_num(self, node):
+        reg = self._alloc_temp()
+        self.builder.emit('li', reg, node.value)
+        return reg, INT
+
+    def _expr_str(self, node):
+        if node.value not in self._string_pool:
+            base = self.builder.alloc_string(node.value)
+            self.builder.alloc_gap(_GLOBAL_GAP)
+            self._string_pool[node.value] = base
+        reg = self._alloc_temp()
+        self.builder.emit('li', reg, self._string_pool[node.value])
+        return reg, PtrType(INT)
+
+    def _expr_sizeof(self, node):
+        resolved = self.types.resolve(node.type_spec, node.line)
+        reg = self._alloc_temp()
+        self.builder.emit('li', reg, resolved.size)
+        return reg, INT
+
+    def _lookup_sym(self, name, line):
+        sym = self._scope.lookup(name) if self._scope else None
+        if sym is None:
+            sym = self.globals.get(name)
+        if sym is None:
+            raise MiniCError('undeclared identifier %r' % name, line)
+        return sym
+
+    def _expr_var(self, node):
+        sym = self._lookup_sym(node.name, node.line)
+        reg = self._alloc_temp()
+        if isinstance(sym.type, ArrayType):
+            # array decays to a pointer to its first element
+            if isinstance(sym, LocalSym):
+                self.builder.emit('addi', reg, Reg.FP, sym.offset)
+            else:
+                self.builder.emit('li', reg, sym.address)
+            return reg, sym.type.decay()
+        if isinstance(sym.type, StructType):
+            raise MiniCError('struct value used directly: %r' % node.name,
+                             node.line)
+        if isinstance(sym, LocalSym):
+            self.builder.emit('ld', reg, Reg.FP, sym.offset)
+        else:
+            self.builder.emit('ld', reg, Reg.ZERO, sym.address)
+        return reg, sym.type
+
+    # lvalues ----------------------------------------------------------
+
+    def _addr(self, node):
+        """Returns (register holding address, value Type at that addr)."""
+        if isinstance(node, ast.Var):
+            sym = self._lookup_sym(node.name, node.line)
+            reg = self._alloc_temp()
+            if isinstance(sym, LocalSym):
+                self.builder.emit('addi', reg, Reg.FP, sym.offset)
+            else:
+                self.builder.emit('li', reg, sym.address)
+            return reg, sym.type
+        if isinstance(node, ast.Deref):
+            reg, ptype = self._expr(node.operand)
+            if not ptype.is_pointer():
+                raise MiniCError('dereference of non-pointer', node.line)
+            return reg, ptype.pointee
+        if isinstance(node, ast.Index):
+            return self._index_addr(node)
+        if isinstance(node, ast.Member):
+            return self._member_addr(node)
+        raise MiniCError('expression is not an lvalue', node.line)
+
+    def _index_addr(self, node):
+        base_reg, base_type = self._expr(node.base)
+        if not base_type.is_pointer():
+            raise MiniCError('indexing a non-pointer', node.line)
+        index_reg, _ = self._expr(node.index)
+        elem = base_type.pointee
+        if elem.size != 1:
+            size_reg = self._alloc_temp()
+            self.builder.emit('li', size_reg, elem.size)
+            self.builder.emit('mul', index_reg, index_reg, size_reg)
+        self.builder.emit('add', base_reg, base_reg, index_reg)
+        self._next_temp = base_reg + 1
+        return base_reg, elem
+
+    def _member_addr(self, node):
+        if node.arrow:
+            base_reg, base_type = self._expr(node.base)
+            if not base_type.is_pointer() \
+                    or not isinstance(base_type.pointee, StructType):
+                raise MiniCError("'->' on non-struct-pointer", node.line)
+            struct = base_type.pointee
+        else:
+            base_reg, struct = self._addr(node.base)
+            if isinstance(struct, PtrType) \
+                    and isinstance(struct.pointee, StructType):
+                # auto-deref: (p).field where p is struct*
+                value_reg = base_reg
+                self.builder.emit('ld', value_reg, value_reg, 0)
+                struct = struct.pointee
+            if not isinstance(struct, StructType):
+                raise MiniCError("'.' on non-struct", node.line)
+        offset, ftype = struct.field(node.field)
+        if offset:
+            self.builder.emit('addi', base_reg, base_reg, offset)
+        return base_reg, ftype
+
+    def _load_from(self, addr_reg, vtype):
+        if isinstance(vtype, ArrayType):
+            return addr_reg, vtype.decay()
+        if isinstance(vtype, StructType):
+            raise MiniCError('struct value loads are not supported')
+        self.builder.emit('ld', addr_reg, addr_reg, 0)
+        return addr_reg, vtype
+
+    def _expr_index(self, node):
+        reg, vtype = self._index_addr(node)
+        return self._load_from(reg, vtype)
+
+    def _expr_deref(self, node):
+        reg, ptype = self._expr(node.operand)
+        if not ptype.is_pointer():
+            raise MiniCError('dereference of non-pointer', node.line)
+        return self._load_from(reg, ptype.pointee)
+
+    def _expr_member(self, node):
+        reg, vtype = self._member_addr(node)
+        return self._load_from(reg, vtype)
+
+    def _expr_addrof(self, node):
+        reg, vtype = self._addr(node.operand)
+        return reg, PtrType(vtype)
+
+    def _expr_assign(self, node):
+        target = node.target
+        if isinstance(target, ast.Var):
+            sym = self._lookup_sym(target.name, target.line)
+            if isinstance(sym.type, (ArrayType, StructType)):
+                raise MiniCError('cannot assign aggregates', node.line)
+            value_reg, value_type = self._expr(node.value)
+            if isinstance(sym, LocalSym):
+                self.builder.emit('st', value_reg, Reg.FP, sym.offset)
+            else:
+                self.builder.emit('st', value_reg, Reg.ZERO, sym.address)
+            return value_reg, sym.type if sym.type.is_pointer() \
+                else value_type
+        addr_reg, vtype = self._addr(target)
+        if isinstance(vtype, (ArrayType, StructType)):
+            raise MiniCError('cannot assign aggregates', node.line)
+        value_reg, _ = self._expr(node.value)
+        self.builder.emit('st', value_reg, addr_reg, 0)
+        self.builder.emit('mov', addr_reg, value_reg)
+        self._next_temp = addr_reg + 1
+        return addr_reg, vtype
+
+    def _expr_unary(self, node):
+        if node.op == '-':
+            reg, _ = self._expr(node.operand)
+            self.builder.emit('sub', reg, Reg.ZERO, reg)
+            return reg, INT
+        if node.op == '!':
+            reg, _ = self._expr(node.operand)
+            self.builder.emit('seq', reg, reg, Reg.ZERO)
+            return reg, INT
+        if node.op == '~':
+            reg, _ = self._expr(node.operand)
+            ones = self._alloc_temp()
+            self.builder.emit('li', ones, -1)
+            self.builder.emit('xor', reg, reg, ones)
+            self._next_temp = reg + 1
+            return reg, INT
+        raise MiniCError('bad unary %r' % node.op, node.line)
+
+    _ARITH = {'+': 'add', '-': 'sub', '*': 'mul', '/': 'div',
+              '%': 'mod', '&': 'and', '|': 'or', '^': 'xor',
+              '<<': 'shl', '>>': 'shr'}
+    _COMPARE = {'<': 'slt', '<=': 'sle', '>': 'sgt', '>=': 'sge',
+                '==': 'seq', '!=': 'sne'}
+
+    def _expr_binary(self, node):
+        op = node.op
+        if op in ('&&', '||'):
+            return self._expr_logical(node)
+        left_reg, left_type = self._expr(node.left)
+        right_reg, right_type = self._expr(node.right)
+        result_type = INT
+        if op in ('+', '-'):
+            if left_type.is_pointer() and not right_type.is_pointer():
+                self._scale(right_reg, left_type.pointee.size)
+                result_type = left_type
+            elif right_type.is_pointer() and op == '+' \
+                    and not left_type.is_pointer():
+                self._scale(left_reg, right_type.pointee.size)
+                result_type = right_type
+            elif left_type.is_pointer() and right_type.is_pointer():
+                result_type = INT       # pointer difference, unscaled
+        mnemonic = self._ARITH.get(op) or self._COMPARE.get(op)
+        if mnemonic is None:
+            raise MiniCError('bad operator %r' % op, node.line)
+        self.builder.emit(mnemonic, left_reg, left_reg, right_reg)
+        self._next_temp = left_reg + 1
+        return left_reg, result_type
+
+    def _scale(self, reg, size):
+        if size != 1:
+            scratch = self._alloc_temp()
+            self.builder.emit('li', scratch, size)
+            self.builder.emit('mul', reg, reg, scratch)
+            self._next_temp = scratch
+
+    def _expr_logical(self, node):
+        builder = self.builder
+        dest = self._alloc_temp()
+        fix = self._condition_fix(node.left)
+        mark = self._next_temp
+        left_reg, _ = self._expr(node.left)
+        self._next_temp = mark
+        if node.op == '&&':
+            rhs_label = builder.new_label('and_rhs')
+            end_label = builder.new_label('and_end')
+            builder.emit('li', dest, 0)
+            builder.br(left_reg, rhs_label)
+            self._emit_fix(fix, branch_true=False)
+            builder.jmp(end_label)
+            builder.bind(rhs_label)
+            self._emit_fix(fix, branch_true=True)
+            right_reg, _ = self._expr(node.right)
+            builder.emit('sne', dest, right_reg, Reg.ZERO)
+            builder.bind(end_label)
+        else:
+            taken_label = builder.new_label('or_taken')
+            end_label = builder.new_label('or_end')
+            builder.emit('li', dest, 1)
+            builder.br(left_reg, taken_label)
+            self._emit_fix(fix, branch_true=False)
+            right_reg, _ = self._expr(node.right)
+            builder.emit('sne', dest, right_reg, Reg.ZERO)
+            builder.jmp(end_label)
+            builder.bind(taken_label)
+            self._emit_fix(fix, branch_true=True)
+            builder.bind(end_label)
+        self._next_temp = dest + 1
+        return dest, INT
+
+    # calls ------------------------------------------------------------
+
+    def _expr_call(self, node):
+        if node.name in BUILTINS:
+            return self._builtin_call(node)
+        func = self.functions.get(node.name)
+        if func is None:
+            raise MiniCError('call to unknown function %r' % node.name,
+                             node.line)
+        if len(node.args) != len(func.param_types):
+            raise MiniCError('%s() expects %d args, got %d'
+                             % (node.name, len(func.param_types),
+                                len(node.args)), node.line)
+        if len(node.args) > _MAX_ARGS:
+            raise MiniCError('too many arguments', node.line)
+        builder = self.builder
+        mark = self._next_temp
+        for reg in range(Reg.T_FIRST, mark):
+            builder.emit('push', reg)
+        arg_regs = []
+        for arg in node.args:
+            reg, _ = self._expr(arg)
+            arg_regs.append(reg)
+        for index, reg in enumerate(arg_regs):
+            builder.emit('mov', Reg.A0 + index, reg)
+        self._next_temp = mark
+        builder.call(node.name)
+        builder.emit('mov', Reg.SCRATCH, Reg.RV)
+        for reg in reversed(range(Reg.T_FIRST, mark)):
+            builder.emit('pop', reg)
+        dest = self._alloc_temp()
+        builder.emit('mov', dest, Reg.SCRATCH)
+        ret_type = func.ret_type if func.ret_type is not None else INT
+        return dest, ret_type
+
+    def _builtin_call(self, node):
+        builder = self.builder
+        name = node.name
+        if name == 'malloc':
+            self._expect_args(node, 1)
+            size_reg, _ = self._expr(node.args[0])
+            dest = self._alloc_temp()
+            builder.emit('malloc', dest, size_reg)
+            self._next_temp = dest + 1
+            return dest, PtrType(INT)
+        if name == 'free':
+            self._expect_args(node, 1)
+            ptr_reg, _ = self._expr(node.args[0])
+            builder.emit('free', ptr_reg)
+            return ptr_reg, INT
+        if name in ('putc', 'print_int', 'exit'):
+            self._expect_args(node, 1)
+            reg, _ = self._expr(node.args[0])
+            builder.emit('mov', Reg.A1, reg)
+            code = {'putc': Syscall.PUTC,
+                    'print_int': Syscall.PRINT_INT,
+                    'exit': Syscall.EXIT}[name]
+            builder.emit('syscall', code)
+            return reg, INT
+        if name in ('getc', 'read_int', 'rand', 'time'):
+            self._expect_args(node, 0)
+            code = {'getc': Syscall.GETC, 'read_int': Syscall.READ_INT,
+                    'rand': Syscall.RAND, 'time': Syscall.TIME}[name]
+            builder.emit('syscall', code)
+            dest = self._alloc_temp()
+            builder.emit('mov', dest, Reg.RV)
+            return dest, INT
+        raise MiniCError('unhandled builtin %r' % name, node.line)
+
+    def _expect_args(self, node, count):
+        if len(node.args) != count:
+            raise MiniCError('%s() expects %d args' % (node.name, count),
+                             node.line)
+
+    # dispatch tables ---------------------------------------------------
+
+    _STMTS = {
+        ast.Block: _stmt_block,
+        ast.Decl: _stmt_decl,
+        ast.ExprStmt: _stmt_expr,
+        ast.If: _stmt_if,
+        ast.While: _stmt_while,
+        ast.For: _stmt_for,
+        ast.Return: _stmt_return,
+        ast.Break: _stmt_break,
+        ast.Continue: _stmt_continue,
+        ast.Assert: _stmt_assert,
+    }
+
+    _EXPRS = {
+        ast.Num: _expr_num,
+        ast.Str: _expr_str,
+        ast.SizeOf: _expr_sizeof,
+        ast.Var: _expr_var,
+        ast.Assign: _expr_assign,
+        ast.Binary: _expr_binary,
+        ast.Unary: _expr_unary,
+        ast.Call: _expr_call,
+        ast.Index: _expr_index,
+        ast.Deref: _expr_deref,
+        ast.Member: _expr_member,
+        ast.AddrOf: _expr_addrof,
+    }
+
+
+def compile_minic(source, name='program', insert_fixes=True,
+                  extended_fixes=False):
+    """Compile MiniC source text into a runnable Program.
+
+    ``extended_fixes`` enables the future-work consistency-fixing pass
+    (struct fields and constant array indices in branch conditions);
+    the paper's prototype -- and therefore the default -- fixes simple
+    condition variables only.
+    """
+    return Compiler(name=name, insert_fixes=insert_fixes,
+                    extended_fixes=extended_fixes).compile(source)

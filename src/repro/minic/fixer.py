@@ -1,0 +1,141 @@
+"""Variable-fixing analysis (Section 4.4).
+
+For each conditional branch the compiler tries to understand the
+condition well enough to *fix* the condition variable at the entrance
+of an NT-path, so that the forced branch direction is consistent with
+memory state.  The analysis recognises the paper's cases:
+
+* ``x RELOP constant`` -- fix ``x`` to the boundary value (equality:
+  the exact value; inequality: the boundary or one past it);
+* ``x RELOP y`` for two simple variables -- fix ``x`` relative to
+  ``y``'s *runtime* value (predicated load + adjust + store);
+* ``x`` / ``!x`` for an int -- fix to 1 / 0;
+* pointer null tests -- fix the pointer to the compiler-emitted blank
+  data structure of the pointee type, or to null.
+
+Anything else (compound expressions, array elements, call results) is
+left unfixed, matching the prototype's scope in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.minic import ast_nodes as ast
+
+# How to satisfy ``var OP rhs`` (delta added to the rhs value), and how
+# to violate it, per edge.  Maps op -> (delta_if_true, delta_if_false).
+_DELTAS = {
+    '<': (-1, 0),
+    '<=': (0, 1),
+    '>': (1, 0),
+    '>=': (0, -1),
+    '==': (0, 1),
+    '!=': (1, 0),
+}
+
+_MIRROR = {'<': '>', '<=': '>=', '>': '<', '>=': '<=',
+           '==': '==', '!=': '!='}
+
+
+class FixInfo:
+    """A recipe for the predicated fix code on each branch edge.
+
+    ``kind`` is one of:
+
+    * ``'const'``  -- set ``var`` to ``const_value + delta``
+    * ``'var'``    -- set ``var`` to ``other_var`` value ``+ delta``
+    * ``'pointer'`` -- set ``var`` to null or to the blank structure of
+      ``pointee_type``
+    """
+
+    __slots__ = ('kind', 'var_name', 'op', 'const_value', 'other_name',
+                 'pointee_type')
+
+    def __init__(self, kind, var_name, op, const_value=None,
+                 other_name=None, pointee_type=None):
+        self.kind = kind
+        self.var_name = var_name
+        self.op = op
+        self.const_value = const_value
+        self.other_name = other_name
+        self.pointee_type = pointee_type
+
+    def delta(self, branch_true):
+        true_delta, false_delta = _DELTAS[self.op]
+        return true_delta if branch_true else false_delta
+
+    def pointer_is_null(self, branch_true):
+        """For pointer tests: should the fixed pointer be null?"""
+        if self.op == '==':            # p == 0
+            return branch_true
+        return not branch_true         # p != 0  /  bare p
+
+
+def _simple_var(node):
+    return node.name if isinstance(node, ast.Var) else None
+
+
+def analyze_condition(cond, lookup_type):
+    """Derive a :class:`FixInfo` for a branch condition, or ``None``.
+
+    ``lookup_type`` maps a variable name to its MiniC type (or ``None``
+    if the name is not a simple fixable scalar in scope).
+    """
+    if isinstance(cond, ast.Unary) and cond.op == '!':
+        inner = analyze_condition(cond.operand, lookup_type)
+        if inner is None:
+            return None
+        if inner.kind == 'pointer':
+            flipped = '!=' if inner.op == '==' else '=='
+            return FixInfo('pointer', inner.var_name, flipped,
+                           pointee_type=inner.pointee_type)
+        flipped = {'<': '>=', '<=': '>', '>': '<=', '>=': '<',
+                   '==': '!=', '!=': '=='}[inner.op]
+        return FixInfo(inner.kind, inner.var_name, flipped,
+                       const_value=inner.const_value,
+                       other_name=inner.other_name)
+
+    if isinstance(cond, ast.Var):
+        var_type = lookup_type(cond.name)
+        if var_type is None:
+            return None
+        if var_type.is_pointer():
+            return FixInfo('pointer', cond.name, '!=',
+                           pointee_type=var_type.pointee)
+        return FixInfo('const', cond.name, '!=', const_value=0)
+
+    if not isinstance(cond, ast.Binary) or cond.op not in _DELTAS:
+        return None
+
+    left_name = _simple_var(cond.left)
+    right_name = _simple_var(cond.right)
+
+    # Normalise "const OP var" into "var MIRROR(OP) const".
+    if left_name is None and isinstance(cond.left, ast.Num) \
+            and right_name is not None:
+        cond = ast.Binary(_MIRROR[cond.op], cond.right, cond.left,
+                          cond.line)
+        left_name, right_name = right_name, None
+
+    left_name = _simple_var(cond.left)
+    if left_name is None:
+        return None
+    var_type = lookup_type(left_name)
+    if var_type is None:
+        return None
+
+    if isinstance(cond.right, ast.Num):
+        if var_type.is_pointer():
+            if cond.right.value == 0 and cond.op in ('==', '!='):
+                return FixInfo('pointer', left_name, cond.op,
+                               pointee_type=var_type.pointee)
+            return None
+        return FixInfo('const', left_name, cond.op,
+                       const_value=cond.right.value)
+
+    right_name = _simple_var(cond.right)
+    if right_name is None or var_type.is_pointer():
+        return None
+    right_type = lookup_type(right_name)
+    if right_type is None or right_type.is_pointer():
+        return None
+    return FixInfo('var', left_name, cond.op, other_name=right_name)

@@ -1,0 +1,126 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+from repro.minic.types import MiniCError
+
+KEYWORDS = frozenset({
+    'int', 'char', 'void', 'struct', 'if', 'else', 'while', 'for',
+    'return', 'break', 'continue', 'assert', 'sizeof',
+})
+
+# Longest-match-first operator table.
+OPERATORS = [
+    '<<', '>>', '<=', '>=', '==', '!=', '&&', '||', '->',
+    '+', '-', '*', '/', '%', '=', '<', '>', '!', '&', '|', '^', '~',
+    '(', ')', '{', '}', '[', ']', ';', ',', '.',
+]
+
+_ESCAPES = {'n': '\n', 't': '\t', 'r': '\r', '0': '\0',
+            '\\': '\\', "'": "'", '"': '"'}
+
+
+class Token:
+    __slots__ = ('kind', 'value', 'line')
+
+    def __init__(self, kind, value, line):
+        self.kind = kind        # 'num', 'id', 'kw', 'op', 'str', 'eof'
+        self.value = value
+        self.line = line
+
+    def __repr__(self):
+        return '<Token %s %r @%d>' % (self.kind, self.value, self.line)
+
+
+def tokenize(source):
+    tokens = []
+    pos = 0
+    line = 1
+    length = len(source)
+    while pos < length:
+        char = source[pos]
+        if char == '\n':
+            line += 1
+            pos += 1
+            continue
+        if char in ' \t\r':
+            pos += 1
+            continue
+        if source.startswith('//', pos):
+            end = source.find('\n', pos)
+            pos = length if end < 0 else end
+            continue
+        if source.startswith('/*', pos):
+            end = source.find('*/', pos + 2)
+            if end < 0:
+                raise MiniCError('unterminated comment', line)
+            line += source.count('\n', pos, end)
+            pos = end + 2
+            continue
+        if char.isdigit():
+            start = pos
+            if source.startswith('0x', pos) or source.startswith('0X', pos):
+                pos += 2
+                while pos < length and source[pos] in '0123456789abcdefABCDEF':
+                    pos += 1
+                tokens.append(Token('num', int(source[start:pos], 16), line))
+            else:
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+                tokens.append(Token('num', int(source[start:pos]), line))
+            continue
+        if char.isalpha() or char == '_':
+            start = pos
+            while pos < length and (source[pos].isalnum()
+                                    or source[pos] == '_'):
+                pos += 1
+            word = source[start:pos]
+            kind = 'kw' if word in KEYWORDS else 'id'
+            tokens.append(Token(kind, word, line))
+            continue
+        if char == "'":
+            pos += 1
+            if pos >= length:
+                raise MiniCError('unterminated char literal', line)
+            if source[pos] == '\\':
+                pos += 1
+                escape = source[pos]
+                if escape not in _ESCAPES:
+                    raise MiniCError('bad escape %r' % escape, line)
+                value = ord(_ESCAPES[escape])
+                pos += 1
+            else:
+                value = ord(source[pos])
+                pos += 1
+            if pos >= length or source[pos] != "'":
+                raise MiniCError('unterminated char literal', line)
+            pos += 1
+            tokens.append(Token('num', value, line))
+            continue
+        if char == '"':
+            pos += 1
+            chars = []
+            while pos < length and source[pos] != '"':
+                if source[pos] == '\\':
+                    pos += 1
+                    escape = source[pos]
+                    if escape not in _ESCAPES:
+                        raise MiniCError('bad escape %r' % escape, line)
+                    chars.append(_ESCAPES[escape])
+                else:
+                    chars.append(source[pos])
+                pos += 1
+            if pos >= length:
+                raise MiniCError('unterminated string literal', line)
+            pos += 1
+            tokens.append(Token('str', ''.join(chars), line))
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token('op', op, line))
+                pos += len(op)
+                break
+        else:
+            raise MiniCError('unexpected character %r' % char, line)
+    tokens.append(Token('eof', None, line))
+    return tokens

@@ -1,0 +1,394 @@
+"""MiniC recursive-descent parser."""
+
+from __future__ import annotations
+
+from repro.minic import ast_nodes as ast
+from repro.minic.lexer import tokenize
+from repro.minic.types import MiniCError
+
+# type_spec is represented pre-semantically as (base_name, ptr_depth),
+# where base_name is 'int', 'char', 'void' or a struct name.
+
+_TYPE_KEYWORDS = ('int', 'char', 'void', 'struct')
+
+
+class Parser:
+
+    def __init__(self, source):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.struct_names = set()
+
+    # ------------------------------------------------------------------
+    # token plumbing
+
+    @property
+    def tok(self):
+        return self.tokens[self.pos]
+
+    def peek(self, offset=1):
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self):
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind, value=None):
+        token = self.tok
+        if token.kind != kind or (value is not None and token.value != value):
+            raise MiniCError('expected %s %r, got %r'
+                             % (kind, value, token.value), token.line)
+        return self.advance()
+
+    def accept(self, kind, value=None):
+        token = self.tok
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    # ------------------------------------------------------------------
+    # top level
+
+    def parse(self):
+        structs = []
+        globals_ = []
+        functions = []
+        while self.tok.kind != 'eof':
+            if (self.tok.kind == 'kw' and self.tok.value == 'struct'
+                    and self.peek(2).value == '{'):
+                structs.append(self._struct_decl())
+                continue
+            type_spec = self._type_spec()
+            name = self.expect('id').value
+            if self.tok.value == '(':
+                functions.append(self._function(type_spec, name))
+            else:
+                globals_.append(self._global_tail(type_spec, name))
+        return ast.TranslationUnit(structs, globals_, functions)
+
+    def _struct_decl(self):
+        line = self.expect('kw', 'struct').line
+        name = self.expect('id').value
+        self.struct_names.add(name)
+        self.expect('op', '{')
+        fields = []
+        while not self.accept('op', '}'):
+            field_type = self._type_spec()
+            field_name = self.expect('id').value
+            if self.accept('op', '['):
+                count = self.expect('num').value
+                self.expect('op', ']')
+                field_type = (field_type[0], field_type[1], count)
+            self.expect('op', ';')
+            fields.append((field_type, field_name))
+        self.expect('op', ';')
+        return ast.StructDecl(name, fields, line)
+
+    def _type_spec(self):
+        token = self.tok
+        if token.kind == 'kw' and token.value in ('int', 'char', 'void'):
+            base = 'int' if token.value == 'char' else token.value
+            self.advance()
+        elif token.kind == 'kw' and token.value == 'struct':
+            self.advance()
+            base = self.expect('id').value
+        else:
+            raise MiniCError('expected type, got %r' % token.value,
+                             token.line)
+        depth = 0
+        while self.accept('op', '*'):
+            depth += 1
+        return (base, depth)
+
+    def _is_type_start(self):
+        token = self.tok
+        return token.kind == 'kw' and token.value in _TYPE_KEYWORDS
+
+    def _global_tail(self, type_spec, name):
+        line = self.tok.line
+        array_size = None
+        init = None
+        if self.accept('op', '['):
+            array_size = self.expect('num').value
+            self.expect('op', ']')
+        if self.accept('op', '='):
+            if self.accept('op', '{'):
+                values = [self._const_int()]
+                while self.accept('op', ','):
+                    values.append(self._const_int())
+                self.expect('op', '}')
+                init = values
+            elif self.tok.kind == 'str':
+                init = self.advance().value
+            else:
+                init = self._const_int()
+        self.expect('op', ';')
+        return ast.GlobalDecl(type_spec, name, array_size, init, line)
+
+    def _const_int(self):
+        negative = bool(self.accept('op', '-'))
+        value = self.expect('num').value
+        return -value if negative else value
+
+    def _function(self, ret_type, name):
+        line = self.tok.line
+        self.expect('op', '(')
+        params = []
+        if not self.accept('op', ')'):
+            while True:
+                if self.tok.kind == 'kw' and self.tok.value == 'void' \
+                        and self.peek().value == ')':
+                    self.advance()
+                    break
+                param_type = self._type_spec()
+                param_name = self.expect('id').value
+                params.append((param_type, param_name))
+                if not self.accept('op', ','):
+                    break
+            self.expect('op', ')')
+        body = self._block()
+        return ast.FuncDecl(ret_type, name, params, body, line)
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def _block(self):
+        line = self.expect('op', '{').line
+        stmts = []
+        while not self.accept('op', '}'):
+            stmts.append(self._statement())
+        return ast.Block(stmts, line)
+
+    def _statement(self):
+        token = self.tok
+        if token.kind == 'op' and token.value == '{':
+            return self._block()
+        if token.kind == 'kw':
+            keyword = token.value
+            if keyword == 'if':
+                return self._if_stmt()
+            if keyword == 'while':
+                return self._while_stmt()
+            if keyword == 'for':
+                return self._for_stmt()
+            if keyword == 'return':
+                self.advance()
+                expr = None
+                if not (self.tok.kind == 'op' and self.tok.value == ';'):
+                    expr = self._expression()
+                self.expect('op', ';')
+                return ast.Return(expr, token.line)
+            if keyword == 'break':
+                self.advance()
+                self.expect('op', ';')
+                node = ast.Break()
+                node.line = token.line
+                return node
+            if keyword == 'continue':
+                self.advance()
+                self.expect('op', ';')
+                node = ast.Continue()
+                node.line = token.line
+                return node
+            if keyword == 'assert':
+                self.advance()
+                self.expect('op', '(')
+                cond = self._expression()
+                self.expect('op', ',')
+                label = self.expect('str').value
+                self.expect('op', ')')
+                self.expect('op', ';')
+                return ast.Assert(cond, label, token.line)
+            if keyword in _TYPE_KEYWORDS:
+                return self._local_decl()
+        expr = self._expression()
+        self.expect('op', ';')
+        return ast.ExprStmt(expr, token.line)
+
+    def _local_decl(self):
+        line = self.tok.line
+        type_spec = self._type_spec()
+        name = self.expect('id').value
+        array_size = None
+        init = None
+        if self.accept('op', '['):
+            array_size = self.expect('num').value
+            self.expect('op', ']')
+        elif self.accept('op', '='):
+            init = self._expression()
+        self.expect('op', ';')
+        return ast.Decl(type_spec, name, array_size, init, line)
+
+    def _if_stmt(self):
+        line = self.expect('kw', 'if').line
+        self.expect('op', '(')
+        cond = self._expression()
+        self.expect('op', ')')
+        then = self._statement()
+        els = None
+        if self.accept('kw', 'else'):
+            els = self._statement()
+        return ast.If(cond, then, els, line)
+
+    def _while_stmt(self):
+        line = self.expect('kw', 'while').line
+        self.expect('op', '(')
+        cond = self._expression()
+        self.expect('op', ')')
+        body = self._statement()
+        return ast.While(cond, body, line)
+
+    def _for_stmt(self):
+        line = self.expect('kw', 'for').line
+        self.expect('op', '(')
+        init = None
+        if not (self.tok.kind == 'op' and self.tok.value == ';'):
+            if self._is_type_start():
+                init = self._local_decl()
+            else:
+                expr = self._expression()
+                self.expect('op', ';')
+                init = ast.ExprStmt(expr, line)
+        else:
+            self.expect('op', ';')
+        if init is not None and not isinstance(init, (ast.Decl,
+                                                      ast.ExprStmt)):
+            raise MiniCError('bad for-initializer', line)
+        cond = None
+        if not (self.tok.kind == 'op' and self.tok.value == ';'):
+            cond = self._expression()
+        self.expect('op', ';')
+        step = None
+        if not (self.tok.kind == 'op' and self.tok.value == ')'):
+            step = self._expression()
+        self.expect('op', ')')
+        body = self._statement()
+        return ast.For(init, cond, step, body, line)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+
+    def _expression(self):
+        return self._assignment()
+
+    def _assignment(self):
+        left = self._logical_or()
+        if self.tok.kind == 'op' and self.tok.value == '=':
+            line = self.advance().line
+            value = self._assignment()
+            return ast.Assign(left, value, line)
+        return left
+
+    def _binary_level(self, operators, next_level):
+        left = next_level()
+        while self.tok.kind == 'op' and self.tok.value in operators:
+            op = self.advance()
+            right = next_level()
+            left = ast.Binary(op.value, left, right, op.line)
+        return left
+
+    def _logical_or(self):
+        return self._binary_level(('||',), self._logical_and)
+
+    def _logical_and(self):
+        return self._binary_level(('&&',), self._bit_or)
+
+    def _bit_or(self):
+        return self._binary_level(('|',), self._bit_xor)
+
+    def _bit_xor(self):
+        return self._binary_level(('^',), self._bit_and)
+
+    def _bit_and(self):
+        return self._binary_level(('&',), self._equality)
+
+    def _equality(self):
+        return self._binary_level(('==', '!='), self._relational)
+
+    def _relational(self):
+        return self._binary_level(('<', '<=', '>', '>='), self._shift)
+
+    def _shift(self):
+        return self._binary_level(('<<', '>>'), self._additive)
+
+    def _additive(self):
+        return self._binary_level(('+', '-'), self._multiplicative)
+
+    def _multiplicative(self):
+        return self._binary_level(('*', '/', '%'), self._unary)
+
+    def _unary(self):
+        token = self.tok
+        if token.kind == 'op' and token.value in ('!', '-', '~', '*', '&'):
+            self.advance()
+            operand = self._unary()
+            if token.value == '*':
+                return ast.Deref(operand, token.line)
+            if token.value == '&':
+                return ast.AddrOf(operand, token.line)
+            return ast.Unary(token.value, operand, token.line)
+        if token.kind == 'kw' and token.value == 'sizeof':
+            self.advance()
+            self.expect('op', '(')
+            type_spec = self._type_spec()
+            self.expect('op', ')')
+            return ast.SizeOf(type_spec, token.line)
+        return self._postfix()
+
+    def _postfix(self):
+        node = self._primary()
+        while True:
+            token = self.tok
+            if token.kind != 'op':
+                return node
+            if token.value == '[':
+                self.advance()
+                index = self._expression()
+                self.expect('op', ']')
+                node = ast.Index(node, index, token.line)
+            elif token.value == '.':
+                self.advance()
+                field = self.expect('id').value
+                node = ast.Member(node, field, False, token.line)
+            elif token.value == '->':
+                self.advance()
+                field = self.expect('id').value
+                node = ast.Member(node, field, True, token.line)
+            elif token.value == '(':
+                if not isinstance(node, ast.Var):
+                    raise MiniCError('calls must use a function name',
+                                     token.line)
+                self.advance()
+                args = []
+                if not self.accept('op', ')'):
+                    args.append(self._expression())
+                    while self.accept('op', ','):
+                        args.append(self._expression())
+                    self.expect('op', ')')
+                node = ast.Call(node.name, args, token.line)
+            else:
+                return node
+
+    def _primary(self):
+        token = self.tok
+        if token.kind == 'num':
+            self.advance()
+            return ast.Num(token.value, token.line)
+        if token.kind == 'str':
+            self.advance()
+            return ast.Str(token.value, token.line)
+        if token.kind == 'id':
+            self.advance()
+            return ast.Var(token.value, token.line)
+        if token.kind == 'op' and token.value == '(':
+            self.advance()
+            expr = self._expression()
+            self.expect('op', ')')
+            return expr
+        raise MiniCError('unexpected token %r' % (token.value,), token.line)
+
+
+def parse(source):
+    return Parser(source).parse()

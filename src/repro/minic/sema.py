@@ -1,0 +1,104 @@
+"""MiniC semantic tables: struct layouts, symbols, function signatures."""
+
+from __future__ import annotations
+
+from repro.minic.types import (INT, ArrayType, MiniCError, PtrType,
+                               StructType)
+
+# Builtin functions the code generator lowers specially.
+BUILTINS = frozenset({
+    'malloc', 'free', 'putc', 'getc', 'print_int', 'read_int',
+    'rand', 'time', 'exit',
+})
+
+
+class GlobalSym:
+    __slots__ = ('name', 'type', 'address')
+
+    def __init__(self, name, type_, address):
+        self.name = name
+        self.type = type_
+        self.address = address
+
+
+class LocalSym:
+    __slots__ = ('name', 'type', 'offset')
+
+    def __init__(self, name, type_, offset):
+        self.name = name
+        self.type = type_
+        self.offset = offset        # relative to FP (negative)
+
+
+class FuncSym:
+    __slots__ = ('name', 'ret_type', 'param_types', 'decl')
+
+    def __init__(self, name, ret_type, param_types, decl):
+        self.name = name
+        self.ret_type = ret_type
+        self.param_types = param_types
+        self.decl = decl
+
+
+class TypeTable:
+    """Resolves parser type specs into :mod:`repro.minic.types` types."""
+
+    def __init__(self):
+        self.structs = {}
+
+    def declare_struct(self, decl):
+        if decl.name in self.structs:
+            raise MiniCError('duplicate struct %s' % decl.name, decl.line)
+        struct = StructType(decl.name)
+        # Register before laying out fields so self-referential
+        # pointers (struct node *next) resolve.
+        self.structs[decl.name] = struct
+        for field_spec, field_name in decl.fields:
+            struct.add_field(field_name, self.resolve(field_spec,
+                                                      decl.line))
+        if struct.size == 0:
+            raise MiniCError('empty struct %s' % decl.name, decl.line)
+        return struct
+
+    def resolve(self, spec, line=None):
+        if len(spec) == 3:
+            base_name, depth, count = spec
+            inner = self.resolve((base_name, depth), line)
+            return ArrayType(inner, count)
+        base_name, depth = spec
+        if base_name == 'int':
+            base = INT
+        elif base_name == 'void':
+            if depth == 0:
+                return None         # void: only valid as a return type
+            base = INT              # void* modelled as int*
+        else:
+            if base_name not in self.structs:
+                raise MiniCError('unknown struct %s' % base_name, line)
+            base = self.structs[base_name]
+        for _ in range(depth):
+            base = PtrType(base)
+        if depth == 0 and isinstance(base, StructType):
+            return base
+        return base
+
+
+class Scope:
+    """Lexically nested local scopes within a function."""
+
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.symbols = {}
+
+    def define(self, sym, line=None):
+        if sym.name in self.symbols:
+            raise MiniCError('duplicate local %r' % sym.name, line)
+        self.symbols[sym.name] = sym
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None

@@ -1,0 +1,107 @@
+"""MiniC type system.
+
+The machine is word-addressable, so ``sizeof(int) == 1`` and all sizes
+are in words.  ``char`` is an alias for ``int`` (one character per
+word), which keeps string handling simple without changing any of the
+control-flow behaviour PathExpander cares about.
+"""
+
+from __future__ import annotations
+
+
+class Type:
+    size = 1
+
+    def is_pointer(self):
+        return False
+
+
+class IntType(Type):
+    size = 1
+
+    def __repr__(self):
+        return 'int'
+
+    def __eq__(self, other):
+        return isinstance(other, IntType)
+
+    def __hash__(self):
+        return hash('int')
+
+
+INT = IntType()
+
+
+class PtrType(Type):
+    size = 1
+
+    def __init__(self, pointee):
+        self.pointee = pointee
+
+    def is_pointer(self):
+        return True
+
+    def __repr__(self):
+        return '%r*' % (self.pointee,)
+
+    def __eq__(self, other):
+        return isinstance(other, PtrType) and other.pointee == self.pointee
+
+    def __hash__(self):
+        return hash(('ptr', self.pointee))
+
+
+class StructType(Type):
+    def __init__(self, name):
+        self.name = name
+        self.fields = {}        # field name -> (offset, Type)
+        self.field_order = []
+        self.size = 0
+
+    def add_field(self, name, ftype):
+        if name in self.fields:
+            raise MiniCError('duplicate field %r in struct %s'
+                             % (name, self.name))
+        self.fields[name] = (self.size, ftype)
+        self.field_order.append(name)
+        self.size += ftype.size
+
+    def field(self, name):
+        if name not in self.fields:
+            raise MiniCError('struct %s has no field %r' % (self.name, name))
+        return self.fields[name]
+
+    def __repr__(self):
+        return 'struct %s' % self.name
+
+    def __eq__(self, other):
+        return isinstance(other, StructType) and other.name == self.name
+
+    def __hash__(self):
+        return hash(('struct', self.name))
+
+
+class ArrayType(Type):
+    def __init__(self, elem, count):
+        self.elem = elem
+        self.count = count
+        self.size = elem.size * count
+
+    def is_pointer(self):
+        return False
+
+    def decay(self):
+        return PtrType(self.elem)
+
+    def __repr__(self):
+        return '%r[%d]' % (self.elem, self.count)
+
+
+class MiniCError(Exception):
+    """Compile-time error in a MiniC program."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = 'line %d: %s' % (line, message)
+        super().__init__(message)
+        self.line = line

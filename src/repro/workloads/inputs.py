@@ -1,0 +1,26 @@
+"""Input suites for the multi-input (cumulative coverage) experiments.
+
+Section 6.3: the Siemens apps use 50 randomly chosen test cases each;
+bc uses a production-rule random generator.  Every generator here is
+deterministic in its seed so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.apps.registry import get_app
+
+
+def input_suite(app_name, count=50, base_seed=1):
+    """``count`` deterministic inputs for an app, plus its default."""
+    app = get_app(app_name)
+    suite = [app.default_input()]
+    for index in range(count - 1):
+        suite.append(app.random_input(base_seed + index))
+    return suite
+
+
+# Apps whose multi-input experiment the paper ran: the four Siemens
+# benchmarks (50 provided cases each) and bc (production-rule random
+# generation).
+CUMULATIVE_APP_NAMES = ('print_tokens', 'print_tokens2', 'schedule',
+                        'schedule2', 'bc_calc')

@@ -1,0 +1,289 @@
+"""Integration tests over the benchmark applications and all 38 bugs.
+
+Every seeded bug is checked against its paper-mandated outcome: missed
+at baseline, and with PathExpander either detected or missed for the
+documented mechanism (value coverage / exercised edge / inconsistency /
+special input).
+"""
+
+import pytest
+
+from repro.apps.bugs import BugSpec, MissReason, classify_reports
+from repro.apps.registry import (ALL_APPS, BUGGY_APP_NAMES,
+                                 WORKLOAD_APP_NAMES, get_app,
+                                 total_tested_bugs)
+from repro.core.config import Mode
+from repro.core.runner import make_detector, run_program
+
+# ---------------------------------------------------------------------
+# enumeration of (app, version, tool) cases covering all 38 bugs
+
+_MEMORY_CASES = [
+    ('go_app', 0, 'ccured'), ('go_app', 0, 'iwatcher'),
+    ('bc_calc', 0, 'ccured'), ('bc_calc', 0, 'iwatcher'),
+    ('man_fmt', 0, 'ccured'), ('man_fmt', 0, 'iwatcher'),
+    ('print_tokens2', 10, 'ccured'), ('print_tokens2', 10, 'iwatcher'),
+]
+
+_ASSERTION_CASES = [
+    (name, version, 'assertions')
+    for name in BUGGY_APP_NAMES
+    for version in get_app(name).assertion_versions
+]
+
+ALL_CASES = _MEMORY_CASES + _ASSERTION_CASES
+
+
+def _run_case(app, program, tool, mode):
+    text, ints = app.default_input()
+    return run_program(program, detector=make_detector(tool),
+                       config=app.make_config(mode=mode),
+                       text_input=text, int_input=ints)
+
+
+@pytest.fixture(scope='module')
+def case_results():
+    """Run every case once (baseline + PathExpander) and cache."""
+    results = {}
+    for app_name, version, tool in ALL_CASES:
+        app = get_app(app_name)
+        program = app.compile(version)
+        baseline = _run_case(app, program, tool, Mode.BASELINE)
+        expanded = _run_case(app, program, tool, Mode.STANDARD)
+        results[(app_name, version, tool)] = (app.bugs(version),
+                                              baseline, expanded)
+    return results
+
+
+class TestBugInventory:
+    def test_total_is_38(self):
+        assert total_tested_bugs() == 38
+
+    def test_case_enumeration_covers_38(self):
+        total = 0
+        for app_name, version, _tool in ALL_CASES:
+            total += len(get_app(app_name).bugs(version))
+        assert total == 38
+
+    def test_every_bug_well_formed(self):
+        for name in BUGGY_APP_NAMES:
+            app = get_app(name)
+            for bugs in app.versions.values():
+                for bug in bugs:
+                    assert bug.expected_detected or \
+                        bug.miss_reason in MissReason.ALL
+                    assert bug.assert_id or bug.site_func
+
+    def test_missed_bug_requires_reason(self):
+        with pytest.raises(ValueError):
+            BugSpec('x', 'app', False)
+
+    def test_miss_reasons_cover_all_four_mechanisms(self):
+        reasons = set()
+        for name in BUGGY_APP_NAMES:
+            for bugs in get_app(name).versions.values():
+                for bug in bugs:
+                    if not bug.expected_detected:
+                        reasons.add(bug.miss_reason)
+        assert reasons == set(MissReason.ALL)
+
+
+@pytest.mark.parametrize('app_name,version,tool', ALL_CASES)
+class TestPerBugOutcome:
+    def test_baseline_misses_everything(self, case_results, app_name,
+                                        version, tool):
+        bugs, baseline, _expanded = case_results[(app_name, version,
+                                                  tool)]
+        found, _ = classify_reports(baseline.reports, bugs)
+        assert not found, \
+            '%s v%s: common input must not expose the bug at baseline' \
+            % (app_name, version)
+
+    def test_pathexpander_outcome_matches_paper(self, case_results,
+                                                app_name, version,
+                                                tool):
+        bugs, _baseline, expanded = case_results[(app_name, version,
+                                                  tool)]
+        found, _ = classify_reports(expanded.reports, bugs)
+        for bug in bugs:
+            if bug.expected_detected:
+                assert bug.bug_id in found, \
+                    '%s should be detected via an NT-path' % bug.bug_id
+            else:
+                assert bug.bug_id not in found, \
+                    '%s should stay hidden (%s)' % (bug.bug_id,
+                                                    bug.miss_reason)
+
+    def test_sandbox_preserves_program_output(self, case_results,
+                                              app_name, version, tool):
+        _bugs, baseline, expanded = case_results[(app_name, version,
+                                                  tool)]
+        assert expanded.output == baseline.output
+        assert expanded.exit_code == baseline.exit_code
+        assert not expanded.crashed
+
+    def test_nt_paths_were_explored(self, case_results, app_name,
+                                    version, tool):
+        _bugs, _baseline, expanded = case_results[(app_name, version,
+                                                   tool)]
+        assert expanded.nt_spawned > 0
+        assert expanded.total_covered >= expanded.baseline_covered
+
+
+class TestDetectionsHappenOnNTPaths:
+    def test_all_true_detections_are_nt(self, case_results):
+        for (app_name, version, tool), (bugs, _base, expanded) \
+                in case_results.items():
+            for report in expanded.reports:
+                if any(bug.matches(report) for bug in bugs):
+                    assert report.in_nt_path, \
+                        '%s v%s: %r' % (app_name, version, report)
+
+
+class TestWorkloadApps:
+    @pytest.mark.parametrize('app_name', WORKLOAD_APP_NAMES)
+    def test_runs_clean_at_baseline(self, app_name):
+        app = get_app(app_name)
+        # version 0 of pure workloads; buggy apps still must not crash
+        program = app.compile(0)
+        text, ints = app.default_input()
+        result = run_program(program, detector=None,
+                             config=app.make_config(mode=Mode.BASELINE),
+                             text_input=text, int_input=ints)
+        assert not result.crashed
+        assert not result.truncated
+        assert result.instret_taken > 1000
+
+    @pytest.mark.parametrize('app_name', WORKLOAD_APP_NAMES)
+    def test_random_inputs_run_clean(self, app_name):
+        app = get_app(app_name)
+        program = app.compile(0)
+        for seed in (1, 2, 3):
+            text, ints = app.random_input(seed)
+            result = run_program(
+                program, detector=None,
+                config=app.make_config(mode=Mode.BASELINE),
+                text_input=text, int_input=ints)
+            assert not result.crashed, '%s seed %d' % (app_name, seed)
+
+    @pytest.mark.parametrize('app_name', WORKLOAD_APP_NAMES)
+    def test_random_inputs_deterministic(self, app_name):
+        app = get_app(app_name)
+        assert app.random_input(5) == app.random_input(5)
+        assert app.random_input(5) != app.random_input(6)
+
+    def test_registry_lookup(self):
+        assert get_app('go_app').name == 'go_app'
+        with pytest.raises(KeyError):
+            get_app('quake')
+
+    def test_registry_metadata(self):
+        for name, app in ALL_APPS.items():
+            assert app.name == name
+            source = app.source(0)
+            assert 'int main(' in source
+            config = app.make_config()
+            if app.is_siemens:
+                assert config.max_nt_path_length == 100
+            else:
+                assert config.max_nt_path_length == 1000
+
+
+class TestMissMechanisms:
+    """Each miss category must be *mechanistically* what it claims:
+    relaxing the blocking mechanism makes the bug detectable."""
+
+    def test_exercised_edge_bugs_found_with_huge_threshold(self):
+        for app_name, version, tool, bug_id in (
+                ('bc_calc', 0, 'ccured', 'bc_flush'),
+                ('schedule2', 5, 'assertions', 'sch2_v5')):
+            app = get_app(app_name)
+            program = app.compile(version)
+            bugs = [b for b in app.bugs(version) if b.bug_id == bug_id]
+            text, ints = app.default_input()
+            result = run_program(
+                program, detector=make_detector(tool),
+                config=app.make_config(nt_counter_threshold=1000),
+                text_input=text, int_input=ints)
+            found, _ = classify_reports(result.reports, bugs)
+            assert bug_id in found
+
+    def test_special_input_bug_found_with_special_input(self):
+        # print_tokens v6 needs a long unterminated string token
+        app = get_app('print_tokens')
+        program = app.compile(6)
+        special = '"' + 'x' * 60 + '\n'
+        result = run_program(program, detector=make_detector('assertions'),
+                             config=app.make_config(mode=Mode.BASELINE),
+                             text_input=special)
+        found, _ = classify_reports(result.reports, app.bugs(6))
+        assert 'pt_v6' in found
+
+    def test_value_coverage_bug_found_with_magic_value(self):
+        # print_tokens v4 fires only for the literal 777
+        app = get_app('print_tokens')
+        program = app.compile(4)
+        result = run_program(program, detector=make_detector('assertions'),
+                             config=app.make_config(mode=Mode.BASELINE),
+                             text_input='aaa 777 bbb\n')
+        found, _ = classify_reports(result.reports, app.bugs(4))
+        assert 'pt_v4' in found
+
+    def test_inconsistency_bug_found_with_real_string(self):
+        # print_tokens2 v3 is a real bug: it fires when a long string
+        # token flows through the *consistent* scanning path.  The
+        # NT-path misses it only because the kind==3 fix leaves
+        # str_len stale (the paper's inconsistency mechanism).
+        app = get_app('print_tokens2')
+        program = app.compile(3)
+        result = run_program(program, detector=make_detector('assertions'),
+                             config=app.make_config(mode=Mode.BASELINE),
+                             text_input='"averylongstringhere" foo\n')
+        found, _ = classify_reports(result.reports, app.bugs(3))
+        assert 'pt2_v3' in found
+
+    def test_man_bug_needs_variable_fixing(self):
+        app = get_app('man_fmt')
+        program = app.compile(0)
+        text, ints = app.default_input()
+        unfixed = run_program(program, detector=make_detector('ccured'),
+                              config=app.make_config(
+                                  variable_fixing=False),
+                              text_input=text, int_input=ints)
+        found, _ = classify_reports(unfixed.reports, app.bugs(0))
+        assert 'man_section' not in found
+
+
+class TestGzipRoundTrip:
+    """gzip's self-check mode: inflate(compress(x)) == x, across every
+    compression level and preprocessor combination -- including under
+    PathExpander, whose NT-paths must not corrupt the stream."""
+
+    @pytest.mark.parametrize('level', [1, 2, 3])
+    @pytest.mark.parametrize('rle', [0, 1])
+    def test_round_trip(self, level, rle):
+        app = get_app('gzip_app')
+        program = app.compile(0)
+        text, _ints = app.default_input()
+        result = run_program(program,
+                             config=app.make_config(mode=Mode.BASELINE),
+                             text_input=text, int_input=[level, rle, 1])
+        assert result.int_output[0] == 1, 'verify_ok flag'
+
+    def test_round_trip_under_pathexpander(self):
+        app = get_app('gzip_app')
+        program = app.compile(0)
+        text, ints = app.default_input()
+        result = run_program(program, config=app.make_config(),
+                             text_input=text, int_input=ints)
+        assert result.int_output[0] == 1
+
+    def test_round_trip_random_inputs(self):
+        app = get_app('gzip_app')
+        program = app.compile(0)
+        for seed in range(1, 6):
+            text, ints = app.random_input(seed)
+            result = run_program(
+                program, config=app.make_config(mode=Mode.BASELINE),
+                text_input=text, int_input=ints)
+            assert result.int_output[0] == 1, 'seed %d' % seed

@@ -1,0 +1,161 @@
+"""Tests for the textual assembler."""
+
+import pytest
+
+from repro.core.config import Mode, PathExpanderConfig
+from repro.core.runner import run_program
+from repro.isa.assembler import AsmError, assemble
+
+
+def run_asm(source, **kwargs):
+    program = assemble(source)
+    return run_program(program,
+                       config=PathExpanderConfig(mode=Mode.BASELINE),
+                       **kwargs)
+
+
+class TestAssembler:
+    def test_arithmetic_and_print(self):
+        result = run_asm('''
+            func main:
+                li a1, 6
+                li r8, 7
+                mul a1, a1, r8
+                syscall print_int
+                halt
+        ''')
+        assert result.output.strip() == '42'
+
+    def test_labels_and_branches(self):
+        result = run_asm('''
+            func main:
+                li r8, 5        ; countdown
+                li r9, 0
+            loop:
+                add r9, r9, r8
+                addi r8, r8, -1
+                sgt r10, r8, zero
+                br r10, loop
+                mov a1, r9
+                syscall print_int
+                halt
+        ''')
+        assert result.output.strip() == '15'
+
+    def test_globals_and_strings(self):
+        result = run_asm('''
+            .global counter 2
+            .string msg "ok"
+            func main:
+                li r8, 9
+                st r8, zero, counter
+                ld r9, zero, counter
+                mov a1, r9
+                syscall print_int
+                ld r10, zero, msg      # 'o'
+                mov a1, r10
+                syscall putc
+                halt
+        ''')
+        assert result.output.strip().startswith('9')
+        assert result.output.strip().endswith('o')
+
+    def test_functions_and_calls(self):
+        result = run_asm('''
+            func main:
+                li a1, 20
+                call double
+                mov a1, rv
+                syscall print_int
+                halt
+            func double:
+                add rv, a1, a1
+                ret
+        ''')
+        assert result.output.strip() == '40'
+
+    def test_predicated_instructions(self):
+        program = assemble('''
+            func main:
+                p.li fix, 5
+                li r8, 1
+                halt
+        ''')
+        assert program.code[program.entry].pred
+
+    def test_char_literals_and_hex(self):
+        result = run_asm('''
+            func main:
+                li a1, 'A'
+                syscall putc
+                li a1, 0x42
+                syscall putc
+                halt
+        ''')
+        assert result.output == 'AB'
+
+    def test_assert_instruction(self):
+        result = run_asm('''
+            func main:
+                li r8, 0
+                assert r8, "NEVER_ZERO"
+                halt
+        ''', detector='assertions')
+        assert [r.assert_id for r in result.reports] == ['NEVER_ZERO']
+
+    def test_comments_both_styles(self):
+        result = run_asm('''
+            ; full-line comment
+            # another
+            func main:
+                li a1, 1   ; trailing
+                syscall print_int   # trailing too
+                halt
+        ''')
+        assert result.output.strip() == '1'
+
+    def test_pathexpander_works_on_assembly(self):
+        program = assemble('''
+            .global flag 1
+            func main:
+                syscall read_int
+                mov r8, rv
+                sgt r9, r8, zero
+                br r9, big
+                li r10, 1
+                st r10, zero, flag
+            big:
+                halt
+        ''')
+        result = run_program(program,
+                             config=PathExpanderConfig(
+                                 mode=Mode.STANDARD),
+                             int_input=[5])
+        assert result.nt_spawned >= 1
+        assert result.total_coverage == 1.0
+
+
+class TestAssemblerErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(AsmError, match='unknown opcode'):
+            assemble('func main:\n    frobnicate r1\n    halt')
+
+    def test_bad_register(self):
+        with pytest.raises(AsmError, match='bad register'):
+            assemble('func main:\n    li r99, 1\n    halt')
+
+    def test_unknown_syscall(self):
+        with pytest.raises(AsmError, match='unknown syscall'):
+            assemble('func main:\n    syscall warp\n    halt')
+
+    def test_undefined_label(self):
+        with pytest.raises((AsmError, ValueError)):
+            assemble('func main:\n    jmp nowhere\n    halt')
+
+    def test_duplicate_label(self):
+        with pytest.raises(AsmError, match='bound twice'):
+            assemble('func main:\nx:\nx:\n    halt')
+
+    def test_unknown_directive(self):
+        with pytest.raises(AsmError, match='unknown directive'):
+            assemble('.section data\nfunc main:\n    halt')

@@ -1,0 +1,355 @@
+"""Tests for the PathExpander engine: sandboxing, NT-path lifecycle,
+selection policy, variable fixing, and the execution modes."""
+
+import pytest
+
+from repro.core.config import Mode, PathExpanderConfig
+from repro.core.result import NTPathTermination
+from repro.core.runner import run_program, run_with_and_without
+from repro.minic.codegen import compile_minic
+from tests.conftest import run_minic
+
+HIDDEN_BUG_SRC = '''
+int buf[8];
+
+int main() {
+  int n = read_int();
+  int *p = malloc(4);
+  for (int i = 0; i < n; i = i + 1) { buf[i & 7] = i; }
+  if (n > 1000) {
+    for (int i = 0; i <= 4; i = i + 1) { p[i] = i; }
+  }
+  free(p);
+  print_int(buf[3]);
+  return 0;
+}
+'''
+
+
+class TestSandboxing:
+    def test_nt_paths_do_not_change_output(self):
+        src = '''
+            int main() {
+              int total = 0;
+              for (int i = 0; i < 20; i = i + 1) {
+                if (i % 3 == 0) { total = total + i; }
+                else { total = total + 1; }
+              }
+              print_int(total);
+              return 0;
+            }'''
+        base = run_minic(src, mode=Mode.BASELINE)
+        std = run_minic(src, mode=Mode.STANDARD)
+        assert std.nt_spawned > 0
+        assert std.output == base.output
+        assert std.exit_code == base.exit_code
+
+    def test_nt_path_memory_writes_rolled_back(self):
+        # The NT-path writes a sentinel global; the taken path must
+        # never observe it.
+        src = '''
+            int sentinel = 0;
+            int main() {
+              int x = read_int();
+              if (x > 100) { sentinel = 1; }
+              print_int(sentinel);
+              return 0;
+            }'''
+        result = run_minic(src, mode=Mode.STANDARD, int_input=[5])
+        assert result.nt_spawned >= 1
+        assert result.output.strip() == '0'
+
+    def test_nt_path_heap_allocations_rolled_back(self):
+        src = '''
+            int main() {
+              int x = read_int();
+              if (x > 100) {
+                int *leak = malloc(64);
+                leak[0] = 1;
+              }
+              int *p = malloc(4);
+              print_int(p[0]);
+              return 0;
+            }'''
+        base = run_minic(src, mode=Mode.BASELINE, int_input=[1])
+        std = run_minic(src, mode=Mode.STANDARD, int_input=[1])
+        # The survivor allocation lands at the same heap address, so
+        # the NT-path's allocation really was rolled back.
+        assert std.output == base.output
+        assert std.nt_spawned >= 1
+
+    def test_io_not_performed_on_nt_path(self):
+        src = '''
+            int main() {
+              int x = read_int();
+              if (x > 100) { print_int(777); }
+              print_int(1);
+              return 0;
+            }'''
+        result = run_minic(src, mode=Mode.STANDARD, int_input=[5])
+        assert '777' not in result.output
+        assert result.nt_terminations.get(NTPathTermination.UNSAFE, 0) >= 1
+
+    def test_program_end_inside_nt_path_rolled_back(self):
+        src = '''
+            int main() {
+              int x = read_int();
+              if (x == 0) { return 0; }
+              print_int(x);
+              return 0;
+            }'''
+        result = run_minic(src, mode=Mode.STANDARD, int_input=[9])
+        assert result.output.strip() == '9'
+        assert result.nt_terminations.get(
+            NTPathTermination.PROGRAM_END, 0) >= 1
+
+
+class TestTermination:
+    def test_length_cap(self):
+        src = '''
+            int main() {
+              int x = read_int();
+              if (x > 100) {
+                int i = 0;
+                while (i >= 0) { i = i + 1; }
+              }
+              return 0;
+            }'''
+        result = run_minic(src, mode=Mode.STANDARD, int_input=[1],
+                           max_nt_path_length=200)
+        assert result.nt_terminations.get(NTPathTermination.LENGTH, 0) >= 1
+        assert result.instret_nt <= 200 * max(result.nt_spawned, 1)
+
+    def test_crash_swallowed(self):
+        # The NT-path divides by a value fixed to zero range; the taken
+        # path is unaffected.
+        src = '''
+            int main() {
+              int x = read_int();
+              int y = 0;
+              if (x == 0) { print_int(100 / y); }
+              print_int(5);
+              return 0;
+            }'''
+        result = run_minic(src, mode=Mode.STANDARD, int_input=[3])
+        assert not result.crashed
+        assert result.output.strip() == '5'
+        assert result.nt_terminations.get(NTPathTermination.CRASH, 0) >= 1
+
+    def test_taken_path_crash_reported(self):
+        result = run_minic('int main() { int y = 0; return 1 / y; }',
+                           mode=Mode.STANDARD)
+        assert result.crashed
+        assert result.crash_kind == 'div_zero'
+
+
+class TestSelection:
+    def test_counter_threshold_limits_spawns(self):
+        src = '''
+            int main() {
+              for (int i = 0; i < 200; i = i + 1) {
+                if (i == 999) { print_int(0); }
+              }
+              return 0;
+            }'''
+        one = run_minic(src, mode=Mode.STANDARD, nt_counter_threshold=1)
+        five = run_minic(src, mode=Mode.STANDARD, nt_counter_threshold=5)
+        assert one.nt_spawned < five.nt_spawned
+        # the never-taken edge is explored at most threshold times
+        assert five.nt_spawned <= 5 * one.nt_spawned
+
+    def test_counter_reset_re_explores(self):
+        src = '''
+            int main() {
+              for (int i = 0; i < 3000; i = i + 1) {
+                if (i == 999999) { print_int(0); }
+              }
+              return 0;
+            }'''
+        no_reset = run_minic(src, mode=Mode.STANDARD,
+                             counter_reset_interval=100_000_000)
+        with_reset = run_minic(src, mode=Mode.STANDARD,
+                               counter_reset_interval=10_000)
+        assert with_reset.nt_spawned > no_reset.nt_spawned
+
+    def test_baseline_never_spawns(self):
+        result = run_minic(HIDDEN_BUG_SRC, mode=Mode.BASELINE,
+                           int_input=[10])
+        assert result.nt_spawned == 0
+
+
+class TestBugDetection:
+    def test_hidden_bug_found_only_with_pathexpander(self):
+        program = compile_minic(HIDDEN_BUG_SRC, name='hidden')
+        base, expanded = run_with_and_without(program, 'ccured',
+                                              int_input=[10])
+        assert base.reports == []
+        kinds = {r.kind for r in expanded.reports}
+        assert 'buffer_overrun' in kinds
+        assert all(r.in_nt_path for r in expanded.reports)
+
+    def test_iwatcher_also_finds_it(self):
+        program = compile_minic(HIDDEN_BUG_SRC, name='hidden')
+        _base, expanded = run_with_and_without(program, 'iwatcher',
+                                               int_input=[10])
+        assert any(r.kind == 'buffer_overrun' for r in expanded.reports)
+
+    def test_assertion_bug_on_nt_path(self):
+        src = '''
+            int main() {
+              int mode = read_int();
+              int total = 0;
+              for (int i = 0; i < 10; i = i + 1) { total = total + i; }
+              if (mode == 7) {
+                /* buggy handler: violates the invariant */
+                total = total - 100;
+                assert(total >= 0, "TOTAL_NON_NEGATIVE");
+              }
+              print_int(total);
+              return 0;
+            }'''
+        base = run_minic(src, detector='assertions', mode=Mode.BASELINE,
+                         int_input=[1])
+        std = run_minic(src, detector='assertions', mode=Mode.STANDARD,
+                        int_input=[1])
+        assert base.reports == []
+        assert any(r.assert_id == 'TOTAL_NON_NEGATIVE'
+                   for r in std.reports)
+
+    def test_reports_survive_rollback(self):
+        result = run_minic(HIDDEN_BUG_SRC, detector='ccured',
+                           mode=Mode.STANDARD, int_input=[10])
+        assert len(result.reports) >= 1
+        assert all(r.in_nt_path for r in result.reports)
+
+
+class TestVariableFixing:
+    # A null-pointer branch: without fixing, the NT-path dereferences
+    # null and crashes; with fixing it reaches the blank structure.
+    NULL_SRC = '''
+        struct item { int weight; int tag; };
+        int main() {
+          struct item *p = 0;
+          int x = read_int();
+          if (p != 0) {
+            print_int(p->weight);
+          }
+          print_int(x);
+          return 0;
+        }'''
+
+    def test_pointer_fix_avoids_crash(self):
+        fixed = run_minic(self.NULL_SRC, mode=Mode.STANDARD, int_input=[1],
+                          variable_fixing=True)
+        unfixed = run_minic(self.NULL_SRC, mode=Mode.STANDARD,
+                            int_input=[1], variable_fixing=False)
+        crashes_fixed = fixed.nt_terminations.get(
+            NTPathTermination.CRASH, 0)
+        crashes_unfixed = unfixed.nt_terminations.get(
+            NTPathTermination.CRASH, 0)
+        assert crashes_unfixed > crashes_fixed
+
+    def test_fix_reduces_false_positives(self):
+        fixed = run_minic(self.NULL_SRC, detector='ccured',
+                          mode=Mode.STANDARD, int_input=[1],
+                          variable_fixing=True)
+        assert fixed.reports == []
+
+    def test_fix_makes_condition_hold(self):
+        # NT-path takes the x == 42 edge; the fix must set x to 42 so
+        # the assert inside agrees with the branch direction.
+        src = '''
+            int main() {
+              int x = read_int();
+              if (x == 42) {
+                assert(x == 42, "CONSISTENT");
+              }
+              return 0;
+            }'''
+        result = run_minic(src, detector='assertions', mode=Mode.STANDARD,
+                           int_input=[7], variable_fixing=True)
+        assert result.nt_spawned >= 1
+        assert result.reports == []
+
+    def test_without_fix_condition_contradicts(self):
+        src = '''
+            int main() {
+              int x = read_int();
+              if (x == 42) {
+                assert(x == 42, "CONSISTENT");
+              }
+              return 0;
+            }'''
+        result = run_minic(src, detector='assertions', mode=Mode.STANDARD,
+                           int_input=[7], variable_fixing=False)
+        assert any(r.assert_id == 'CONSISTENT' for r in result.reports)
+
+
+class TestCoverage:
+    def test_coverage_increases(self):
+        result = run_minic(HIDDEN_BUG_SRC, mode=Mode.STANDARD,
+                           int_input=[10])
+        assert result.total_coverage > result.baseline_coverage
+
+    def test_coverage_bounded_by_one(self):
+        result = run_minic(HIDDEN_BUG_SRC, mode=Mode.STANDARD,
+                           int_input=[10])
+        assert 0.0 <= result.baseline_coverage <= result.total_coverage <= 1.0
+
+
+class TestModes:
+    def test_cmp_same_detection_lower_overhead(self):
+        program = compile_minic(HIDDEN_BUG_SRC, name='hidden')
+        config = PathExpanderConfig()
+        base = run_program(program, detector='ccured',
+                           config=config.replace(mode=Mode.BASELINE),
+                           int_input=[500])
+        std = run_program(program, detector='ccured',
+                          config=config.replace(mode=Mode.STANDARD),
+                          int_input=[500])
+        cmp_ = run_program(program, detector='ccured',
+                           config=config.replace(mode=Mode.CMP),
+                           int_input=[500])
+        assert {r.kind for r in cmp_.reports} == \
+            {r.kind for r in std.reports}
+        assert cmp_.total_covered == std.total_covered
+        assert cmp_.cycles < std.cycles
+        assert cmp_.overhead_vs(base) < std.overhead_vs(base)
+
+    def test_software_mode_most_expensive(self):
+        program = compile_minic(HIDDEN_BUG_SRC, name='hidden')
+        config = PathExpanderConfig()
+        std = run_program(program, detector='ccured',
+                          config=config.replace(mode=Mode.STANDARD),
+                          int_input=[500])
+        sw = run_program(program, detector='ccured',
+                         config=config.replace(mode=Mode.SOFTWARE),
+                         int_input=[500])
+        assert sw.cycles > std.cycles
+        assert {r.kind for r in sw.reports} == {r.kind for r in std.reports}
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PathExpanderConfig(mode='warp-speed')
+
+
+class TestAblation:
+    def test_nt_from_nt_increases_crashes(self):
+        src = '''
+            int main() {
+              int data[16];
+              for (int i = 0; i < 16; i = i + 1) { data[i] = i; }
+              int total = 0;
+              for (int i = 0; i < 50; i = i + 1) {
+                int v = data[i % 16];
+                if (v > 100) { total = total + data[v]; }
+                if (total > 1000) { total = 0; }
+                total = total + v;
+              }
+              print_int(total);
+              return 0;
+            }'''
+        plain = run_minic(src, mode=Mode.STANDARD, variable_fixing=False)
+        forced = run_minic(src, mode=Mode.STANDARD, variable_fixing=False,
+                           explore_nt_from_nt=True)
+        assert forced.total_covered >= plain.total_covered

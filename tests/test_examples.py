@@ -1,0 +1,37 @@
+"""Smoke tests: every shipped example must run clean end to end."""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / 'examples'
+EXAMPLE_FILES = sorted(path.name for path in EXAMPLES_DIR.glob('*.py'))
+
+
+def test_at_least_four_examples_ship():
+    assert len(EXAMPLE_FILES) >= 4
+    assert 'quickstart.py' in EXAMPLE_FILES
+
+
+@pytest.mark.parametrize('filename', EXAMPLE_FILES)
+def test_example_runs_clean(filename, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / filename), run_name='__main__')
+    out = capsys.readouterr().out
+    assert out.strip(), '%s produced no output' % filename
+
+
+def test_quickstart_reports_the_bug(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / 'quickstart.py'),
+                   run_name='__main__')
+    out = capsys.readouterr().out
+    assert 'FOUND: buffer_overrun' in out
+    assert 'NT-path' in out
+
+
+def test_walkthrough_explains_the_miss(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / 'debugging_walkthrough.py'),
+                   run_name='__main__')
+    out = capsys.readouterr().out
+    assert 'exercised_edge' in out
+    assert "detected ['bc_flush', 'bc_grow']" in out

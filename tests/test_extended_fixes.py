@@ -1,0 +1,124 @@
+"""Tests for the extended consistency-fixing pass (future work):
+branch conditions over struct fields and constant array indices."""
+
+from repro.core.config import PathExpanderConfig
+from repro.core.runner import run_program
+from repro.minic.codegen import compile_minic
+
+
+def _run(source, extended, detector='assertions', int_input=None,
+         variable_fixing=True):
+    program = compile_minic(source, name='extfix',
+                            extended_fixes=extended)
+    return run_program(
+        program, detector=detector,
+        config=PathExpanderConfig(variable_fixing=variable_fixing),
+        int_input=int_input or [])
+
+
+STRUCT_FIELD_SRC = '''
+struct config { int limit; int mode; };
+struct config cfg;
+
+int main() {
+  cfg.limit = read_int();
+  if (cfg.limit == 42) {
+    /* with the fix, the branch direction is consistent */
+    assert(cfg.limit == 42, "FIELD_CONSISTENT");
+  }
+  return 0;
+}
+'''
+
+ARRAY_ELEM_SRC = '''
+int flags[8];
+
+int main() {
+  flags[3] = read_int();
+  if (flags[3] > 100) {
+    assert(flags[3] > 100, "ELEM_CONSISTENT");
+  }
+  return 0;
+}
+'''
+
+FIELD_POINTER_SRC = '''
+struct node { int value; struct node *next; };
+struct node head;
+
+int main() {
+  head.value = read_int();
+  head.next = 0;
+  if (head.next != 0) {
+    /* without a fix this dereferences null and the NT-path crashes */
+    print_int(head.next->value);
+  }
+  return 0;
+}
+'''
+
+
+class TestStructFieldFix:
+    def test_baseline_prototype_cannot_fix(self):
+        result = _run(STRUCT_FIELD_SRC, extended=False, int_input=[7])
+        assert any(r.assert_id == 'FIELD_CONSISTENT'
+                   for r in result.reports)
+
+    def test_extended_fix_makes_consistent(self):
+        result = _run(STRUCT_FIELD_SRC, extended=True, int_input=[7])
+        assert result.nt_spawned >= 1
+        assert result.reports == []
+
+
+class TestArrayElementFix:
+    def test_baseline_prototype_cannot_fix(self):
+        result = _run(ARRAY_ELEM_SRC, extended=False, int_input=[5])
+        assert any(r.assert_id == 'ELEM_CONSISTENT'
+                   for r in result.reports)
+
+    def test_extended_fix_makes_consistent(self):
+        result = _run(ARRAY_ELEM_SRC, extended=True, int_input=[5])
+        assert result.reports == []
+
+    def test_out_of_range_constant_index_not_fixed(self):
+        src = ARRAY_ELEM_SRC.replace('flags[3]', 'flags[9]')
+        # flags[9] is itself out of bounds; the analysis must refuse
+        program = compile_minic(src, name='oob', extended_fixes=True)
+        # no predicated store to a bad address may exist
+        for instr in program.code:
+            if instr.pred and instr.op == 'st':
+                base = [name for name, base, size
+                        in program.global_objects if name == 'flags']
+                assert instr.c != 0 or not base
+
+
+class TestFieldPointerFix:
+    def test_null_field_crashes_without_extended_fix(self):
+        result = _run(FIELD_POINTER_SRC, extended=False,
+                      detector='ccured', int_input=[1])
+        assert result.nt_terminations.get('crash', 0) >= 1
+
+    def test_extended_fix_points_at_blank(self):
+        result = _run(FIELD_POINTER_SRC, extended=True,
+                      detector='ccured', int_input=[1])
+        assert result.nt_terminations.get('crash', 0) == 0
+        assert result.reports == []
+
+
+class TestPrototypeBehaviourUnchanged:
+    def test_simple_variables_still_fixed_identically(self):
+        src = '''
+            int main() {
+              int x = read_int();
+              if (x == 9) { assert(x == 9, "SIMPLE"); }
+              return 0;
+            }'''
+        for extended in (False, True):
+            result = _run(src, extended=extended, int_input=[1])
+            assert result.reports == []
+
+    def test_disabled_fixing_disables_extended_too(self):
+        result = _run(STRUCT_FIELD_SRC, extended=True, int_input=[7],
+                      variable_fixing=False)
+        assert any(r.assert_id == 'FIELD_CONSISTENT'
+                   for r in result.reports)

@@ -1,0 +1,151 @@
+"""Tests for the paper's future-work extensions."""
+
+from repro.apps.bugs import classify_reports
+from repro.apps.registry import get_app
+from repro.core.config import Mode, PathExpanderConfig
+from repro.core.result import NTPathTermination
+from repro.core.runner import make_detector, run_program
+from repro.cpu.syscalls import IOContext
+from repro.minic.codegen import compile_minic
+from tests.conftest import run_minic
+
+import pytest
+
+IO_HEAVY_SRC = '''
+int main() {
+  int mode = read_int();
+  for (int i = 0; i < 30; i = i + 1) {
+    if (i % 3 == mode) { putc('a' + (i % 26)); }
+    else { putc('.'); }
+  }
+  if (mode > 500) {
+    print_int(12345);
+  }
+  return 0;
+}
+'''
+
+
+class TestOSSandbox:
+    def test_nt_paths_run_through_syscalls(self):
+        plain = run_minic(IO_HEAVY_SRC, mode=Mode.STANDARD,
+                          int_input=[1])
+        sandboxed = run_minic(IO_HEAVY_SRC, mode=Mode.STANDARD,
+                              int_input=[1], sandbox_unsafe_events=True)
+        assert plain.nt_terminations.get(NTPathTermination.UNSAFE, 0) > 0
+        assert sandboxed.nt_terminations.get(
+            NTPathTermination.UNSAFE, 0) == 0
+
+    def test_speculative_output_discarded(self):
+        plain = run_minic(IO_HEAVY_SRC, mode=Mode.BASELINE,
+                          int_input=[1])
+        sandboxed = run_minic(IO_HEAVY_SRC, mode=Mode.STANDARD,
+                              int_input=[1], sandbox_unsafe_events=True)
+        # NT-paths printed speculatively (incl. the mode>500 branch),
+        # but squash removes every speculative character
+        assert sandboxed.output == plain.output
+        assert '12345' not in sandboxed.output
+
+    def test_speculative_input_cursor_restored(self):
+        src = '''
+            int main() {
+              int a = read_int();
+              if (a > 900) {
+                int b = read_int();    /* speculative consume */
+                print_int(b);
+              }
+              int c = read_int();
+              print_int(c);
+              return 0;
+            }'''
+        result = run_minic(src, mode=Mode.STANDARD, int_input=[1, 42],
+                           sandbox_unsafe_events=True)
+        # the NT-path consumed 42 speculatively; the taken path must
+        # still see it
+        assert result.output.strip() == '42'
+
+    def test_io_context_snapshot_round_trip(self):
+        io = IOContext(text_input='abc', int_input=[1, 2, 3])
+        io.getc()
+        io.read_int()
+        io.putc(ord('x'))
+        snap = io.snapshot()
+        io.getc()
+        io.read_int()
+        io.print_int(99)
+        io.restore(snap)
+        assert io.getc() == ord('b')
+        assert io.read_int() == 2
+        assert io.output_text == 'x'
+        assert io.int_output == []
+
+    def test_detection_reach_extended(self):
+        # a bug *behind* an unsafe event is only reachable with the
+        # OS sandbox
+        src = '''
+            int main() {
+              int n = read_int();
+              int *p = malloc(4);
+              if (n > 900) {
+                print_int(n);          /* unsafe event first... */
+                p[5] = 1;              /* ...then the bug */
+              }
+              free(p);
+              return 0;
+            }'''
+        plain = run_minic(src, detector='ccured', mode=Mode.STANDARD,
+                          int_input=[1])
+        sandboxed = run_minic(src, detector='ccured', mode=Mode.STANDARD,
+                              int_input=[1], sandbox_unsafe_events=True)
+        assert plain.reports == []
+        assert any(r.kind == 'buffer_overrun' for r in sandboxed.reports)
+
+
+class TestRandomSelection:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            PathExpanderConfig(selection_random_rate=1.5)
+
+    def test_more_paths_with_randomness(self):
+        src = '''
+            int main() {
+              int total = 0;
+              for (int i = 0; i < 400; i = i + 1) {
+                if (i % 2 == 0) { total = total + 1; }
+              }
+              print_int(total);
+              return 0;
+            }'''
+        plain = run_minic(src, mode=Mode.STANDARD)
+        randomized = run_minic(src, mode=Mode.STANDARD,
+                               selection_random_rate=0.2)
+        assert randomized.nt_spawned > plain.nt_spawned
+
+    def test_recovers_exercised_edge_bug(self):
+        app = get_app('schedule2')
+        program = app.compile(5)
+        bugs = app.bugs(5)
+        text, ints = app.default_input()
+        plain = run_program(program, detector=make_detector('assertions'),
+                            config=app.make_config(),
+                            text_input=text, int_input=ints)
+        randomized = run_program(
+            program, detector=make_detector('assertions'),
+            config=app.make_config(selection_random_rate=0.5),
+            text_input=text, int_input=ints)
+        found_plain, _ = classify_reports(plain.reports, bugs)
+        found_random, _ = classify_reports(randomized.reports, bugs)
+        assert 'sch2_v5' not in found_plain
+        assert 'sch2_v5' in found_random
+
+    def test_sandboxing_still_holds(self):
+        program = compile_minic(IO_HEAVY_SRC, name='rand_sandbox')
+        base = run_program(program,
+                           config=PathExpanderConfig(mode=Mode.BASELINE),
+                           int_input=[2])
+        randomized = run_program(
+            program,
+            config=PathExpanderConfig(selection_random_rate=0.5,
+                                      sandbox_unsafe_events=True),
+            int_input=[2])
+        assert randomized.output == base.output

@@ -1,0 +1,141 @@
+"""Unit tests for the variable-fixing analysis (Section 4.4)."""
+
+import pytest
+
+from repro.minic import ast_nodes as ast
+from repro.minic.fixer import analyze_condition
+from repro.minic.types import INT, PtrType, StructType
+
+
+def _lookup(types):
+    return lambda name: types.get(name)
+
+
+INT_VARS = _lookup({'x': INT, 'y': INT})
+PTR_VARS = _lookup({'p': PtrType(INT), 'x': INT})
+
+
+def _cond(op, left, right):
+    return ast.Binary(op, left, right)
+
+
+class TestConstComparisons:
+    @pytest.mark.parametrize('op,true_value,false_value', [
+        ('<', 4, 5),
+        ('<=', 5, 6),
+        ('>', 6, 5),
+        ('>=', 5, 4),
+        ('==', 5, 6),
+        ('!=', 6, 5),
+    ])
+    def test_boundary_values(self, op, true_value, false_value):
+        fix = analyze_condition(_cond(op, ast.Var('x'), ast.Num(5)),
+                                INT_VARS)
+        assert fix.kind == 'const'
+        assert fix.var_name == 'x'
+        assert fix.const_value + fix.delta(True) == true_value
+        assert fix.const_value + fix.delta(False) == false_value
+
+    def test_mirrored_operands(self):
+        # 5 < x  is  x > 5
+        fix = analyze_condition(_cond('<', ast.Num(5), ast.Var('x')),
+                                INT_VARS)
+        assert fix.var_name == 'x'
+        assert fix.op == '>'
+        assert fix.const_value + fix.delta(True) == 6
+
+    def test_bare_int_variable(self):
+        fix = analyze_condition(ast.Var('x'), INT_VARS)
+        assert fix.kind == 'const'
+        assert fix.const_value + fix.delta(True) == 1
+        assert fix.const_value + fix.delta(False) == 0
+
+    def test_negated_variable(self):
+        fix = analyze_condition(ast.Unary('!', ast.Var('x')), INT_VARS)
+        # !x true means x == 0
+        assert fix.const_value + fix.delta(True) == 0
+        assert fix.const_value + fix.delta(False) == 1
+
+    def test_negated_comparison(self):
+        fix = analyze_condition(
+            ast.Unary('!', _cond('<', ast.Var('x'), ast.Num(5))),
+            INT_VARS)
+        # !(x < 5) true means x >= 5
+        assert fix.op == '>='
+        assert fix.const_value + fix.delta(True) == 5
+
+
+class TestVarVsVar:
+    def test_two_variables(self):
+        fix = analyze_condition(_cond('<', ast.Var('x'), ast.Var('y')),
+                                INT_VARS)
+        assert fix.kind == 'var'
+        assert fix.var_name == 'x'
+        assert fix.other_name == 'y'
+        assert fix.delta(True) == -1
+        assert fix.delta(False) == 0
+
+    def test_pointer_vs_var_rejected(self):
+        fix = analyze_condition(_cond('<', ast.Var('p'), ast.Var('x')),
+                                PTR_VARS)
+        assert fix is None
+
+
+class TestPointerTests:
+    def test_null_equality(self):
+        fix = analyze_condition(_cond('==', ast.Var('p'), ast.Num(0)),
+                                PTR_VARS)
+        assert fix.kind == 'pointer'
+        assert fix.pointer_is_null(True)
+        assert not fix.pointer_is_null(False)
+
+    def test_null_inequality(self):
+        fix = analyze_condition(_cond('!=', ast.Var('p'), ast.Num(0)),
+                                PTR_VARS)
+        assert not fix.pointer_is_null(True)
+        assert fix.pointer_is_null(False)
+
+    def test_bare_pointer(self):
+        fix = analyze_condition(ast.Var('p'), PTR_VARS)
+        assert fix.kind == 'pointer'
+        assert not fix.pointer_is_null(True)
+
+    def test_negated_pointer(self):
+        fix = analyze_condition(ast.Unary('!', ast.Var('p')), PTR_VARS)
+        # !p true means p == null
+        assert fix.pointer_is_null(True)
+
+    def test_pointee_type_carried(self):
+        node = StructType('node')
+        node.add_field('v', INT)
+        lookup = _lookup({'p': PtrType(node)})
+        fix = analyze_condition(ast.Var('p'), lookup)
+        assert fix.pointee_type is node
+
+    def test_pointer_vs_nonzero_constant_rejected(self):
+        fix = analyze_condition(_cond('==', ast.Var('p'), ast.Num(4)),
+                                PTR_VARS)
+        assert fix is None
+
+
+class TestUnfixable:
+    def test_unknown_variable(self):
+        assert analyze_condition(ast.Var('ghost'), INT_VARS) is None
+
+    def test_call_result(self):
+        cond = _cond('<', ast.Call('f', []), ast.Num(5))
+        assert analyze_condition(cond, INT_VARS) is None
+
+    def test_array_element(self):
+        cond = _cond('==', ast.Index(ast.Var('x'), ast.Num(0)),
+                     ast.Num(5))
+        assert analyze_condition(cond, INT_VARS) is None
+
+    def test_compound_expression(self):
+        cond = _cond('<', ast.Binary('+', ast.Var('x'), ast.Num(1)),
+                     ast.Num(5))
+        assert analyze_condition(cond, INT_VARS) is None
+
+    def test_logical_and_not_directly_fixable(self):
+        cond = ast.Binary('&&', ast.Var('x'), ast.Var('y'))
+        assert analyze_condition(cond, INT_VARS) is None

@@ -1,0 +1,31 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+import io
+
+from repro.harness import experiments
+from repro.harness.generate_report import (_PAPER_NOTES, default_steps,
+                                           generate)
+
+
+class TestGenerateReport:
+    def test_every_step_has_a_paper_note(self):
+        for exp_id, _runner in default_steps():
+            assert exp_id in _PAPER_NOTES
+
+    def test_generate_writes_markdown(self):
+        stream = io.StringIO()
+        steps = [('table2', experiments.run_table2),
+                 ('table3', experiments.run_table3)]
+        generate(stream, steps=steps)
+        text = stream.getvalue()
+        assert text.startswith('# EXPERIMENTS')
+        assert '## table2' in text
+        assert '## table3' in text
+        assert '```' in text
+        assert 'regenerated in' in text
+
+    def test_step_ids_cover_all_paper_artifacts(self):
+        ids = {exp_id for exp_id, _ in default_steps()}
+        assert {'table2', 'table3', 'table4', 'table5', 'table6',
+                'fig3', 'fig7', 'fig8', 'fig9', 'fig10',
+                'abl1', 'ext1', 'ext2'} <= ids

@@ -1,0 +1,147 @@
+"""Unit tests for the ISA layer: instructions, programs, builder."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Instr, Reg, Syscall
+from repro.isa.program import BranchEdge
+
+
+class TestInstr:
+    def test_valid_opcode(self):
+        instr = Instr('add', 1, 2, 3)
+        assert instr.op == 'add'
+        assert (instr.a, instr.b, instr.c) == (1, 2, 3)
+        assert not instr.pred
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Instr('frobnicate', 1)
+
+    def test_predicated_repr(self):
+        instr = Instr('li', Reg.FIX, 5, pred=True)
+        assert '<p>' in repr(instr)
+
+    def test_register_conventions(self):
+        assert Reg.ZERO == 0
+        assert Reg.RV == Reg.A0
+        assert Reg.T_FIRST > Reg.A5
+        assert Reg.FIX > Reg.T_LAST
+        assert Reg.COUNT == 32
+
+    def test_syscall_codes_unique(self):
+        assert len(Syscall.ALL) == 7
+
+
+class TestBuilder:
+    def test_labels_resolve(self):
+        builder = ProgramBuilder('t')
+        builder.func('main')
+        label = builder.new_label()
+        builder.jmp(label)
+        builder.emit('nop')
+        builder.bind(label)
+        builder.emit('halt')
+        program = builder.build()
+        assert program.code[0].a == 2      # jmp target resolved
+
+    def test_unbound_label_rejected(self):
+        builder = ProgramBuilder('t')
+        builder.func('main')
+        label = builder.new_label()
+        builder.jmp(label)
+        with pytest.raises(ValueError, match='unbound label'):
+            builder.build()
+
+    def test_double_bind_rejected(self):
+        builder = ProgramBuilder('t')
+        builder.func('main')
+        label = builder.new_label()
+        builder.bind(label)
+        with pytest.raises(ValueError):
+            builder.bind(label)
+
+    def test_call_resolution(self):
+        builder = ProgramBuilder('t')
+        builder.func('main')
+        builder.call('helper')
+        builder.emit('halt')
+        builder.func('helper')
+        builder.emit('ret')
+        program = builder.build()
+        assert program.code[0].a == program.functions['helper']
+
+    def test_call_unknown_function_rejected(self):
+        builder = ProgramBuilder('t')
+        builder.func('main')
+        builder.call('nowhere')
+        with pytest.raises(ValueError, match='unknown function'):
+            builder.build()
+
+    def test_duplicate_function_rejected(self):
+        builder = ProgramBuilder('t')
+        builder.func('main')
+        with pytest.raises(ValueError):
+            builder.func('main')
+
+    def test_missing_entry_rejected(self):
+        builder = ProgramBuilder('t')
+        builder.func('helper')
+        builder.emit('ret')
+        with pytest.raises(ValueError, match='no entry'):
+            builder.build()
+
+    def test_global_allocation_advances(self):
+        builder = ProgramBuilder('t')
+        first = builder.alloc_global('a', 4)
+        gap = builder.alloc_gap(2)
+        second = builder.alloc_global('b', 1)
+        assert gap == first + 4
+        assert second == first + 6
+        assert builder.globals_size == second + 1
+
+    def test_string_in_data_image(self):
+        builder = ProgramBuilder('t')
+        base = builder.alloc_string('hi')
+        builder.func('main')
+        builder.emit('halt')
+        program = builder.build()
+        assert program.data_image[base] == ord('h')
+        assert program.data_image[base + 1] == ord('i')
+        assert program.data_image[base + 2] == 0
+
+
+class TestProgram:
+    def _program_with_branch(self):
+        builder = ProgramBuilder('t')
+        builder.func('main')
+        label = builder.new_label()
+        builder.emit('li', 8, 1)
+        builder.br(8, label)
+        builder.emit('nop')
+        builder.bind(label)
+        builder.emit('halt')
+        return builder.build()
+
+    def test_branch_edges_collected(self):
+        program = self._program_with_branch()
+        assert program.num_branches == 1
+        assert program.num_edges == 2
+        taken = [e for e in program.branch_edges if e.taken][0]
+        fallthrough = [e for e in program.branch_edges if not e.taken][0]
+        assert taken.branch_addr == fallthrough.branch_addr == 1
+        assert taken.target == 3
+        assert fallthrough.target == 2
+
+    def test_edge_keys_distinct(self):
+        program = self._program_with_branch()
+        keys = {edge.key for edge in program.branch_edges}
+        assert keys == {(1, True), (1, False)}
+
+    def test_location_fallback(self):
+        program = self._program_with_branch()
+        assert program.location(2).startswith('main+')
+
+    def test_branch_edge_repr(self):
+        edge = BranchEdge(5, True, 9)
+        assert 'T' in repr(edge)

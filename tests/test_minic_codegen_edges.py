@@ -1,0 +1,314 @@
+"""Code-generator edge cases: deep expressions, pointer gymnastics,
+nested control flow, temp-register discipline, and fix-block layout."""
+
+import pytest
+
+from repro.isa.instructions import Reg
+from repro.minic.codegen import compile_minic
+from repro.minic.types import MiniCError
+from tests.conftest import run_minic, run_output
+
+
+class TestDeepExpressions:
+    def test_deeply_parenthesised(self):
+        expr = '1'
+        for i in range(2, 12):
+            expr = '(%s + %d)' % (expr, i)
+        assert run_output('int main() { print_int(%s); return 0; }'
+                          % expr).strip() == str(sum(range(1, 12)))
+
+    def test_temps_exhausted_raises(self):
+        # right-nested additions pin one temp per level
+        expr = '1'
+        for i in range(2, 30):
+            expr = '%d + (%s)' % (i, expr)
+        src = 'int main() { return %s; }' % expr
+        with pytest.raises(MiniCError, match='too complex'):
+            run_minic(src)
+
+    def test_right_nesting_within_limit_works(self):
+        expr = '1'
+        for i in range(2, 16):
+            expr = '%d + (%s)' % (i, expr)
+        out = run_output('int main() { print_int(%s); return 0; }'
+                         % expr)
+        assert out.strip() == str(sum(range(1, 16)))
+
+    def test_call_args_evaluated_left_to_right(self):
+        src = '''
+            int order[4];
+            int pos = 0;
+            int mark(int v) { order[pos] = v; pos = pos + 1; return v; }
+            int three(int a, int b, int c) { return a * 100 + b * 10 + c; }
+            int main() {
+              print_int(three(mark(1), mark(2), mark(3)));
+              print_int(order[0] * 100 + order[1] * 10 + order[2]);
+              return 0;
+            }'''
+        assert run_output(src).split() == ['123', '123']
+
+    def test_nested_calls_preserve_temps(self):
+        src = '''
+            int add(int a, int b) { return a + b; }
+            int main() {
+              print_int(add(add(1, 2), add(3, add(4, 5))) * 10 + 7);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '157'
+
+
+class TestPointerGymnastics:
+    def test_pointer_to_pointer(self):
+        src = '''
+            int main() {
+              int x = 5;
+              int *p = &x;
+              int **pp = &p;
+              **pp = 9;
+              print_int(x);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '9'
+
+    def test_pointer_walk_of_string(self):
+        src = '''
+            int main() {
+              int *s = "walk";
+              int n = 0;
+              while (*s != 0) { n = n + 1; s = s + 1; }
+              print_int(n);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '4'
+
+    def test_struct_pointer_scaling(self):
+        src = '''
+            struct pair { int a; int b; };
+            struct pair items[4];
+            int main() {
+              struct pair *p = items;
+              p = p + 2;             /* advances 2 * sizeof(pair) */
+              p->b = 77;
+              print_int(items[2].b);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '77'
+
+    def test_address_of_array_element(self):
+        src = '''
+            int a[6];
+            int main() {
+              int *p = &a[3];
+              *p = 5;
+              print_int(a[3]);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '5'
+
+    def test_nested_struct_access(self):
+        src = '''
+            struct inner { int v; };
+            struct outer { int tag; struct inner in; };
+            int main() {
+              struct outer o;
+              o.in.v = 31;
+              print_int(o.in.v);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '31'
+
+    def test_linked_list_reversal(self):
+        src = '''
+            struct node { int v; struct node *next; };
+            int main() {
+              struct node *head = 0;
+              for (int i = 1; i <= 5; i = i + 1) {
+                struct node *n = malloc(sizeof(struct node));
+                n->v = i;
+                n->next = head;
+                head = n;
+              }
+              /* reverse */
+              struct node *prev = 0;
+              while (head != 0) {
+                struct node *next = head->next;
+                head->next = prev;
+                prev = head;
+                head = next;
+              }
+              int digits = 0;
+              while (prev != 0) {
+                digits = digits * 10 + prev->v;
+                prev = prev->next;
+              }
+              print_int(digits);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '12345'
+
+
+class TestControlFlowEdges:
+    def test_break_in_nested_loop_breaks_inner(self):
+        src = '''
+            int main() {
+              int count = 0;
+              for (int i = 0; i < 3; i = i + 1) {
+                for (int j = 0; j < 10; j = j + 1) {
+                  if (j == 2) { break; }
+                  count = count + 1;
+                }
+              }
+              print_int(count);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '6'
+
+    def test_continue_in_while(self):
+        src = '''
+            int main() {
+              int i = 0;
+              int total = 0;
+              while (i < 10) {
+                i = i + 1;
+                if (i % 2 == 0) { continue; }
+                total = total + i;
+              }
+              print_int(total);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '25'
+
+    def test_dangling_else_binds_inner(self):
+        src = '''
+            int pick(int a, int b) {
+              if (a)
+                if (b) { return 1; }
+                else { return 2; }
+              return 3;
+            }
+            int main() {
+              print_int(pick(1, 1));
+              print_int(pick(1, 0));
+              print_int(pick(0, 0));
+              return 0;
+            }'''
+        assert run_output(src).split() == ['1', '2', '3']
+
+    def test_chained_logical_mix(self):
+        src = '''
+            int f(int a, int b, int c) {
+              return (a && b) || (!a && c);
+            }
+            int main() {
+              print_int(f(1, 1, 0));
+              print_int(f(1, 0, 1));
+              print_int(f(0, 1, 1));
+              print_int(f(0, 0, 0));
+              return 0;
+            }'''
+        assert run_output(src).split() == ['1', '0', '1', '0']
+
+    def test_ternary_absent_use_if(self):
+        # MiniC has no ?: -- document via a parse failure
+        with pytest.raises(MiniCError):
+            run_minic('int main() { return 1 ? 2 : 3; }')
+
+
+class TestFixBlockLayout:
+    def _branch_edges_with_fix(self, src):
+        program = compile_minic(src, name='layout')
+        fixed_edges = 0
+        for edge in program.branch_edges:
+            if edge.target < len(program.code) \
+                    and program.code[edge.target].pred:
+                fixed_edges += 1
+        return program, fixed_edges
+
+    def test_both_edges_get_fix_blocks(self):
+        program, fixed = self._branch_edges_with_fix('''
+            int main() {
+              int x = read_int();
+              if (x < 5) { print_int(1); } else { print_int(2); }
+              return 0;
+            }''')
+        # the x<5 branch contributes two fixed edge heads
+        assert fixed >= 2
+
+    def test_unfixable_condition_has_no_fix_block(self):
+        program, fixed = self._branch_edges_with_fix('''
+            int f() { return 1; }
+            int main() {
+              if (f()) { print_int(1); }
+              return 0;
+            }''')
+        assert fixed == 0
+
+    def test_fix_uses_reserved_register_only(self):
+        program = compile_minic('''
+            int main() {
+              int x = read_int();
+              if (x == 3) { print_int(x); }
+              while (x > 0) { x = x - 1; }
+              return 0;
+            }''', name='fixregs')
+        for instr in program.code:
+            if instr.pred:
+                assert instr.a == Reg.FIX
+
+    def test_fix_count_matches_fixable_branches(self):
+        program = compile_minic('''
+            int g;
+            int main() {
+              int x = read_int();
+              if (x < 10) { g = 1; }        /* fixable */
+              if (g == 2) { g = 3; }        /* fixable (global) */
+              int a[2];
+              if (a[0]) { g = 4; }          /* not fixable */
+              return 0;
+            }''', name='fixcount')
+        predicated = sum(1 for instr in program.code if instr.pred)
+        # two fixable branches, two edges each, 2 instrs per fix block
+        assert predicated == 2 * 2 * 2
+
+
+class TestGlobalsLayout:
+    def test_guard_gaps_between_globals(self):
+        program = compile_minic('''
+            int a[4];
+            int b[4];
+            int main() { return 0; }''', name='gaps')
+        objs = {name: (base, size)
+                for name, base, size in program.global_objects}
+        a_base, a_size = objs['a']
+        b_base, _ = objs['b']
+        assert b_base >= a_base + a_size + 2
+
+    def test_blank_structs_emitted_for_all_types(self):
+        program = compile_minic('''
+            struct one { int x; };
+            struct two { int y; int z; };
+            int main() { return 0; }''', name='blanks')
+        assert 'int' in program.blank_structs
+        assert 'struct one' in program.blank_structs
+        assert 'struct two' in program.blank_structs
+
+    def test_blank_struct_padded(self):
+        program = compile_minic('struct s { int x; };'
+                                'int main() { return 0; }',
+                                name='blankpad')
+        info = program.blank_structs['struct s']
+        assert info.size >= 32
+
+    def test_string_literals_pooled(self):
+        program = compile_minic('''
+            int main() {
+              int *a = "same";
+              int *b = "same";
+              print_int(a == b);
+              return 0;
+            }''', name='pool')
+        from repro.core.runner import run_program
+        from repro.core.config import Mode, PathExpanderConfig
+        result = run_program(program,
+                             config=PathExpanderConfig(mode=Mode.BASELINE))
+        assert result.output.strip() == '1'

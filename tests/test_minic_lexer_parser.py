@@ -1,0 +1,168 @@
+"""Unit tests for the MiniC lexer and parser."""
+
+import pytest
+
+from repro.minic import ast_nodes as ast
+from repro.minic.lexer import tokenize
+from repro.minic.parser import parse
+from repro.minic.types import MiniCError
+
+
+class TestLexer:
+    def test_numbers(self):
+        tokens = tokenize('12 0x1f 0')
+        assert [t.value for t in tokens[:-1]] == [12, 31, 0]
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize('int foo while whilefoo')
+        kinds = [(t.kind, t.value) for t in tokens[:-1]]
+        assert kinds == [('kw', 'int'), ('id', 'foo'), ('kw', 'while'),
+                         ('id', 'whilefoo')]
+
+    def test_char_literals(self):
+        tokens = tokenize(r"'a' '\n' '\\' '\0'")
+        assert [t.value for t in tokens[:-1]] == [97, 10, 92, 0]
+
+    def test_string_literal_with_escapes(self):
+        tokens = tokenize(r'"a\tb"')
+        assert tokens[0].kind == 'str'
+        assert tokens[0].value == 'a\tb'
+
+    def test_two_char_operators_win(self):
+        tokens = tokenize('a<=b == c->d')
+        ops = [t.value for t in tokens if t.kind == 'op']
+        assert ops == ['<=', '==', '->']
+
+    def test_line_comments_skipped(self):
+        tokens = tokenize('a // comment\n b')
+        assert [t.value for t in tokens[:-1]] == ['a', 'b']
+
+    def test_block_comments_track_lines(self):
+        tokens = tokenize('/* one\ntwo */ x')
+        assert tokens[0].line == 2
+
+    def test_unterminated_comment_rejected(self):
+        with pytest.raises(MiniCError):
+            tokenize('/* never closed')
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(MiniCError):
+            tokenize('"oops')
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(MiniCError):
+            tokenize('a @ b')
+
+    def test_line_numbers(self):
+        tokens = tokenize('a\nb\n\nc')
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+
+class TestParser:
+    def test_function_with_params(self):
+        unit = parse('int add(int a, int b) { return a + b; }')
+        func = unit.functions[0]
+        assert func.name == 'add'
+        assert [name for _spec, name in func.params] == ['a', 'b']
+        assert isinstance(func.body.stmts[0], ast.Return)
+
+    def test_void_param_list(self):
+        unit = parse('int main(void) { return 0; }')
+        assert unit.functions[0].params == []
+
+    def test_global_scalar_and_array(self):
+        unit = parse('int x = 5; int a[10]; int main() { return 0; }')
+        scalar, array = unit.globals
+        assert scalar.init == 5
+        assert array.array_size == 10
+
+    def test_global_array_initialiser(self):
+        unit = parse('int a[3] = {1, -2, 3}; int main() { return 0; }')
+        assert unit.globals[0].init == [1, -2, 3]
+
+    def test_global_string_initialiser(self):
+        unit = parse('char s[6] = "hi"; int main() { return 0; }')
+        assert unit.globals[0].init == 'hi'
+
+    def test_struct_declaration(self):
+        unit = parse('struct point { int x; int y; };'
+                     'int main() { return 0; }')
+        struct = unit.structs[0]
+        assert struct.name == 'point'
+        assert [name for _spec, name in struct.fields] == ['x', 'y']
+
+    def test_struct_field_array(self):
+        unit = parse('struct buf { int data[8]; int len; };'
+                     'int main() { return 0; }')
+        (spec, name), _ = unit.structs[0].fields
+        assert name == 'data'
+        assert spec == ('int', 0, 8)
+
+    def test_pointer_types(self):
+        unit = parse('int **pp; int main() { return 0; }')
+        assert unit.globals[0].type_spec == ('int', 2)
+
+    def test_precedence_mul_over_add(self):
+        unit = parse('int main() { return 1 + 2 * 3; }')
+        expr = unit.functions[0].body.stmts[0].expr
+        assert expr.op == '+'
+        assert expr.right.op == '*'
+
+    def test_assignment_right_associative(self):
+        unit = parse('int main() { int a; int b; a = b = 1; return a; }')
+        assign = unit.functions[0].body.stmts[2].expr
+        assert isinstance(assign, ast.Assign)
+        assert isinstance(assign.value, ast.Assign)
+
+    def test_logical_operators_lowest(self):
+        unit = parse('int main() { return 1 < 2 && 3 == 3; }')
+        expr = unit.functions[0].body.stmts[0].expr
+        assert expr.op == '&&'
+
+    def test_unary_and_postfix(self):
+        unit = parse('int main() { int a[4]; return -a[1]; }')
+        expr = unit.functions[0].body.stmts[1].expr
+        assert isinstance(expr, ast.Unary)
+        assert isinstance(expr.operand, ast.Index)
+
+    def test_member_and_arrow(self):
+        unit = parse('struct p { int x; };'
+                     'int main() { struct p v; struct p *q; '
+                     'q = &v; v.x = 1; return q->x; }')
+        stmts = unit.functions[0].body.stmts
+        member = stmts[3].expr.target
+        assert isinstance(member, ast.Member) and not member.arrow
+        arrow = stmts[4].expr
+        assert isinstance(arrow, ast.Member) and arrow.arrow
+
+    def test_for_with_decl_initializer(self):
+        unit = parse('int main() { for (int i = 0; i < 3; i = i + 1) { } '
+                     'return 0; }')
+        loop = unit.functions[0].body.stmts[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.Decl)
+
+    def test_for_with_empty_clauses(self):
+        unit = parse('int main() { for (;;) { break; } return 0; }')
+        loop = unit.functions[0].body.stmts[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_assert_statement(self):
+        unit = parse('int main() { assert(1 == 1, "OK"); return 0; }')
+        stmt = unit.functions[0].body.stmts[0]
+        assert isinstance(stmt, ast.Assert)
+        assert stmt.label == 'OK'
+
+    def test_sizeof(self):
+        unit = parse('struct p { int x; int y; };'
+                     'int main() { return sizeof(struct p); }')
+        expr = unit.functions[0].body.stmts[0].expr
+        assert isinstance(expr, ast.SizeOf)
+
+    def test_call_on_non_name_rejected(self):
+        with pytest.raises(MiniCError):
+            parse('int main() { int a[2]; a[0](); return 0; }')
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(MiniCError):
+            parse('int main() { return 0 }')

@@ -1,0 +1,70 @@
+"""Tests for the ASCII plotting helpers."""
+
+from repro.core.result import NTPathRecord, NTPathTermination
+from repro.harness.plots import (ascii_curve, cdf_points, coverage_bars,
+                                 fig3_plot)
+
+
+def _record(length, reason):
+    return NTPathRecord(0, True, length, reason, 0)
+
+
+class TestCDFPoints:
+    def test_empty_records(self):
+        points = cdf_points([], steps=4)
+        assert points == [(0, 0.0), (250, 0.0), (500, 0.0),
+                          (750, 0.0), (1000, 0.0)]
+
+    def test_monotone_nondecreasing(self):
+        records = [_record(10, NTPathTermination.CRASH),
+                   _record(600, NTPathTermination.UNSAFE),
+                   _record(1000, NTPathTermination.LENGTH)]
+        points = cdf_points(records, steps=20)
+        values = [value for _x, value in points]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_only_stops_counted(self):
+        records = [_record(10, NTPathTermination.LENGTH),
+                   _record(10, NTPathTermination.PROGRAM_END),
+                   _record(10, NTPathTermination.CRASH)]
+        points = cdf_points(records, steps=2)
+        assert points[-1][1] == 1 / 3
+
+    def test_final_ratio_matches_stop_fraction(self):
+        records = [_record(i, NTPathTermination.UNSAFE)
+                   for i in range(0, 1000, 100)]
+        records += [_record(1000, NTPathTermination.LENGTH)] * 10
+        points = cdf_points(records, steps=10)
+        assert abs(points[-1][1] - 0.5) < 1e-9
+
+
+class TestAsciiCharts:
+    def test_curve_contains_axis_and_stars(self):
+        points = [(i * 100, i / 10) for i in range(11)]
+        chart = ascii_curve(points, title='demo', width=30)
+        assert 'demo' in chart
+        assert '*' in chart
+        assert '+' + '-' * 30 in chart
+
+    def test_fig3_plot_per_app(self):
+        details = {
+            'appA': [_record(5, NTPathTermination.CRASH),
+                     _record(1000, NTPathTermination.LENGTH)],
+            'appB': [_record(1000, NTPathTermination.LENGTH)],
+        }
+        chart = fig3_plot(details, width=20)
+        assert 'appA' in chart and 'appB' in chart
+        assert '1 of 2 stop early' in chart
+
+    def test_coverage_bars(self):
+        rows = [('app1', 10, '40.0%', '65.0%', 3),
+                ('app2', 10, '50.0%', '80.0%', 4)]
+        text = coverage_bars(rows, width=20)
+        assert 'app1' in text
+        assert '#' in text and '+' in text
+        assert '40.0% ->  65.0%' in text
+
+    def test_coverage_bars_skip_malformed(self):
+        rows = [('broken', None), ('ok', 1, '10.0%', '20.0%', 0)]
+        text = coverage_bars(rows, width=10)
+        assert 'ok' in text
