@@ -1,11 +1,14 @@
 """Single-input branch coverage (paper: 40% -> 65% on average)."""
 
+from functools import partial
+
 from conftest import emit
 from repro.harness.experiments import run_fig7
 
 
-def test_fig7_coverage_single(benchmark):
-    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+def test_fig7_coverage_single(benchmark, experiment_pool):
+    result = benchmark.pedantic(partial(run_fig7, pool=experiment_pool),
+                                rounds=1, iterations=1)
     emit(result)
     average = [row for row in result.rows if row[0] == 'AVERAGE'][0]
     base = float(average[2].rstrip('%'))

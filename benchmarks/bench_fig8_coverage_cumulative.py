@@ -6,9 +6,10 @@ from conftest import emit
 from repro.harness.experiments import run_fig8
 
 
-def test_fig8_coverage_cumulative(benchmark):
-    result = benchmark.pedantic(partial(run_fig8, runs=50), rounds=1,
-                                iterations=1)
+def test_fig8_coverage_cumulative(benchmark, experiment_pool):
+    result = benchmark.pedantic(
+        partial(run_fig8, runs=50, pool=experiment_pool), rounds=1,
+        iterations=1)
     emit(result)
     average = [row for row in result.rows if row[0] == 'AVERAGE'][0]
     improvement = float(average[4].rstrip('%'))

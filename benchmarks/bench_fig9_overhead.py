@@ -1,11 +1,14 @@
 """Execution overhead (paper: below 9.9% with the CMP optimisation)."""
 
+from functools import partial
+
 from conftest import emit
 from repro.harness.experiments import run_fig9
 
 
-def test_fig9_overhead(benchmark):
-    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+def test_fig9_overhead(benchmark, experiment_pool):
+    result = benchmark.pedantic(partial(run_fig9, pool=experiment_pool),
+                                rounds=1, iterations=1)
     emit(result)
     worst = [row for row in result.rows if row[0] == 'WORST CMP'][0]
     assert float(worst[3].rstrip('%')) < 9.9, \

@@ -1,11 +1,15 @@
 """Hardware vs software PathExpander (paper: 3-4 orders of magnitude)."""
 
+from functools import partial
+
 from conftest import emit
 from repro.harness.experiments import run_table6
 
 
-def test_table6_software_vs_hardware(benchmark):
-    result = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+def test_table6_software_vs_hardware(benchmark, experiment_pool):
+    result = benchmark.pedantic(
+        partial(run_table6, pool=experiment_pool), rounds=1,
+        iterations=1)
     emit(result)
     geomean = [row for row in result.rows if row[0] == 'GEOMEAN'][0]
     orders = float(geomean[4])

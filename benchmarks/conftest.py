@@ -4,9 +4,44 @@ Each ``bench_*`` module regenerates one table or figure of the paper:
 it prints the measured rows (the same rows/series the paper reports)
 and times a representative kernel with pytest-benchmark.  Heavy
 experiments run exactly once via ``benchmark.pedantic``.
+
+``--jobs N`` (or the ``REPRO_JOBS`` environment variable) routes the
+pooled experiment drivers (fig7, fig8, fig9, table6) through a
+:class:`~repro.jobs.pool.JobPool` with N worker processes.  The
+measured kernels are unchanged — the same ``run_*`` driver is timed —
+so the benchmarks exercise both the serial and pooled execution paths,
+which are required to produce identical tables.
 """
 
 from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def jobs_requested(config=None):
+    """Worker count from --jobs, falling back to $REPRO_JOBS, then 1."""
+    if config is not None:
+        return config.getoption('--jobs')
+    return int(os.environ.get('REPRO_JOBS', '1') or '1')
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        '--jobs', type=int, default=jobs_requested(),
+        help='worker processes for pooled experiment drivers '
+             '(default: $REPRO_JOBS or 1 = serial in-process)')
+
+
+@pytest.fixture
+def experiment_pool(request):
+    """A JobPool honouring --jobs/$REPRO_JOBS, or None for serial."""
+    jobs = jobs_requested(request.config)
+    if jobs <= 1:
+        return None
+    from repro.jobs import JobPool
+    return JobPool(jobs=jobs)
 
 
 def emit(result):

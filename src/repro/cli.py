@@ -7,13 +7,21 @@
     python -m repro disasm FILE.mc [--function NAME]
     python -m repro apps
     python -m repro bugs APP [--version N]
-    python -m repro experiment ID            # table2..table6, fig3...
+    python -m repro experiment ID [--jobs N] [--cache DIR] [--json]
+    python -m repro batch [IDS... | --all] [--jobs N] [--cache DIR]
     python -m repro report [PATH]            # regenerate EXPERIMENTS.md
+
+``--jobs N`` fans an experiment's simulations out over N worker
+processes; ``--cache DIR`` keeps an on-disk result store so re-runs
+with unchanged inputs perform zero simulations.  Both print a job
+metrics summary after the tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.apps.bugs import classify_reports
@@ -41,6 +49,10 @@ EXPERIMENT_RUNNERS = {
     'ext2': experiments.run_ext_random_selection,
     'val1': experiments.run_val_cmp_model,
 }
+
+# Drivers that accept a JobPool (pool=) and an app subset (apps=).
+POOLED_EXPERIMENTS = frozenset({'fig7', 'fig8', 'fig9', 'table6'})
+APPS_EXPERIMENTS = frozenset({'fig7', 'fig8', 'fig9', 'table6'})
 
 
 def _parse_ints(text):
@@ -87,11 +99,62 @@ def _build_parser():
     exp_cmd.add_argument('id', choices=sorted(EXPERIMENT_RUNNERS))
     exp_cmd.add_argument('--plot', action='store_true',
                          help='render ASCII charts (fig3, fig7)')
+    _add_jobs_options(exp_cmd)
+
+    batch_cmd = sub.add_parser(
+        'batch', help='run several experiments through one job pool')
+    batch_cmd.add_argument('ids', nargs='*',
+                           metavar='ID',
+                           help='experiment ids (see "experiment")')
+    batch_cmd.add_argument('--all', action='store_true',
+                           help='run every experiment')
+    _add_jobs_options(batch_cmd)
 
     report_cmd = sub.add_parser('report',
                                 help='regenerate EXPERIMENTS.md')
     report_cmd.add_argument('path', nargs='?', default='EXPERIMENTS.md')
     return parser
+
+
+def _add_jobs_options(cmd):
+    cmd.add_argument('--jobs', type=int, default=1,
+                     help='worker processes (1 = in-process serial)')
+    cmd.add_argument('--cache', default=None, metavar='DIR',
+                     help='on-disk result cache directory')
+    cmd.add_argument('--timeout', type=float, default=None,
+                     help='per-job timeout in seconds (pooled mode)')
+    cmd.add_argument('--json', action='store_true',
+                     help='emit results (and metrics) as JSON')
+    cmd.add_argument('--apps', default=None,
+                     help='comma-separated app subset for the '
+                          'coverage/overhead experiments')
+
+
+def _make_pool(args):
+    """A JobPool wired to the CLI's cache/metrics options, or None."""
+    if args.jobs <= 1 and not args.cache:
+        return None
+    from repro.jobs import JobPool, ResultStore, RunMetrics
+    store = None
+    log_path = None
+    if args.cache:
+        store = ResultStore(args.cache)
+        os.makedirs(args.cache, exist_ok=True)
+        log_path = os.path.join(args.cache, 'events.jsonl')
+    metrics = RunMetrics(log_path=log_path)
+    return JobPool(jobs=max(args.jobs, 1), store=store,
+                   metrics=metrics, timeout=args.timeout)
+
+
+def _runner_kwargs(exp_id, args, pool):
+    kwargs = {}
+    if pool is not None and exp_id in POOLED_EXPERIMENTS:
+        kwargs['pool'] = pool
+    if args.apps and exp_id in APPS_EXPERIMENTS:
+        kwargs['apps'] = tuple(
+            name.strip() for name in args.apps.split(',')
+            if name.strip())
+    return kwargs
 
 
 def _cmd_run(args):
@@ -177,12 +240,57 @@ def _cmd_experiment(args):
         print()
         print(fig3_plot(details))
         return 0
-    result = EXPERIMENT_RUNNERS[args.id]()
+    pool = _make_pool(args)
+    result = EXPERIMENT_RUNNERS[args.id](
+        **_runner_kwargs(args.id, args, pool))
+    if args.json:
+        payload = result.to_dict()
+        if pool is not None:
+            payload['metrics'] = pool.metrics.to_dict()
+        print(json.dumps(payload, indent=2))
+        return 0
     print(result.format())
     if args.plot and args.id == 'fig7':
         from repro.harness.plots import coverage_bars
         print()
         print(coverage_bars(result.rows))
+    if pool is not None:
+        print()
+        print(pool.metrics.format_summary())
+    return 0
+
+
+def _cmd_batch(args):
+    ids = list(args.ids)
+    if args.all:
+        ids = sorted(EXPERIMENT_RUNNERS)
+    if not ids:
+        print('batch: give experiment IDs or --all', file=sys.stderr)
+        return 2
+    unknown = [exp_id for exp_id in ids
+               if exp_id not in EXPERIMENT_RUNNERS]
+    if unknown:
+        print('batch: unknown experiment id(s): %s (choose from %s)'
+              % (', '.join(unknown), ', '.join(sorted(
+                  EXPERIMENT_RUNNERS))), file=sys.stderr)
+        return 2
+    pool = _make_pool(args)
+    payloads = []
+    for exp_id in ids:
+        result = EXPERIMENT_RUNNERS[exp_id](
+            **_runner_kwargs(exp_id, args, pool))
+        if args.json:
+            payloads.append(result.to_dict())
+        else:
+            print(result.format())
+            print()
+    if args.json:
+        payload = {'experiments': payloads}
+        if pool is not None:
+            payload['metrics'] = pool.metrics.to_dict()
+        print(json.dumps(payload, indent=2))
+    elif pool is not None:
+        print(pool.metrics.format_summary())
     return 0
 
 
@@ -198,6 +306,7 @@ _COMMANDS = {
     'apps': _cmd_apps,
     'bugs': _cmd_bugs,
     'experiment': _cmd_experiment,
+    'batch': _cmd_batch,
     'report': _cmd_report,
 }
 

@@ -27,6 +27,13 @@ class NTPathRecord:
         self.reason = reason
         self.spawn_instret = spawn_instret
 
+    def to_dict(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**{slot: data[slot] for slot in cls.__slots__})
+
 
 class RunResult:
     """Everything a monitored run produced."""
@@ -96,6 +103,59 @@ class RunResult:
         if base == 0:
             return 0.0
         return (self.cycles - base) / base
+
+    # -- lossless serialization (job cache / worker transport) ---------
+
+    _SCALAR_FIELDS = ('program_name', 'mode', 'detector_name', 'cycles',
+                      'primary_cycles', 'instret_taken', 'instret_nt',
+                      'nt_spawned', 'nt_skipped_busy', 'nt_store_count',
+                      'nt_branch_count', 'taken_branch_count',
+                      'journal_entries_total', 'forced_segment_commits',
+                      'total_edges', 'baseline_covered',
+                      'total_covered', 'output', 'exit_code', 'crashed',
+                      'crash_kind', 'truncated')
+
+    def to_dict(self):
+        """A JSON-safe dict carrying *every* field of this result.
+
+        Edge sets are emitted sorted so the same run always serializes
+        to the same bytes (the job cache depends on deterministic
+        records).
+        """
+        data = {name: getattr(self, name)
+                for name in self._SCALAR_FIELDS}
+        data['int_output'] = list(self.int_output)
+        data['nt_terminations'] = {
+            reason: self.nt_terminations[reason]
+            for reason in sorted(self.nt_terminations)}
+        data['nt_details'] = [record.to_dict()
+                              for record in self.nt_details]
+        data['taken_edges'] = [list(edge)
+                               for edge in sorted(self.taken_edges)]
+        data['covered_edges'] = [list(edge)
+                                 for edge in sorted(self.covered_edges)]
+        data['reports'] = [report.to_dict() for report in self.reports]
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a result from :meth:`to_dict` output (or its JSON
+        round-trip)."""
+        from repro.detectors.base import BugReport
+        result = cls.__new__(cls)
+        for name in cls._SCALAR_FIELDS:
+            setattr(result, name, data[name])
+        result.int_output = list(data['int_output'])
+        result.nt_terminations = dict(data['nt_terminations'])
+        result.nt_details = [NTPathRecord.from_dict(record)
+                             for record in data['nt_details']]
+        result.taken_edges = {tuple(edge)
+                              for edge in data['taken_edges']}
+        result.covered_edges = {tuple(edge)
+                                for edge in data['covered_edges']}
+        result.reports = [BugReport.from_dict(report)
+                          for report in data['reports']]
+        return result
 
     def __repr__(self):
         return ('<RunResult %s/%s/%s: %d cycles, %d NT-paths, '

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.core.config import Mode, PathExpanderConfig
 from repro.core.engine import PathExpanderEngine
 from repro.core.software import apply_software_costs
@@ -81,6 +83,41 @@ def run_source(source, detector=None, config=None, text_input='',
     program = compile_minic(source, name=name)
     return run_program(program, detector=detector, config=config,
                        text_input=text_input, int_input=int_input)
+
+
+@lru_cache(maxsize=128)
+def _compiled_app(app_name, version):
+    """Compile a registered app once per process.
+
+    Programs are immutable during runs (the harness already reuses one
+    compilation across baseline/expanded runs), so sharing is safe; the
+    cache keeps per-input job batches from recompiling the same app.
+    """
+    from repro.apps.registry import get_app
+    return get_app(app_name).compile(version)
+
+
+def run_job(spec):
+    """Execute one :class:`~repro.jobs.spec.JobSpec`.
+
+    Module-level so process-pool workers can pickle it; the job layer
+    (``repro.jobs``) uses this as its single entry point.  For app
+    specs the configuration goes through ``app.make_config`` — exactly
+    the path the serial harness takes — so pooled and in-process runs
+    are result-identical.
+    """
+    overrides = dict(spec.config_overrides)
+    if spec.app is not None:
+        from repro.apps.registry import get_app
+        app = get_app(spec.app)
+        program = _compiled_app(spec.app, spec.version)
+        config = app.make_config(mode=spec.mode, **overrides)
+    else:
+        program = compile_minic(spec.source, name=spec.program_name)
+        config = PathExpanderConfig(mode=spec.mode, **overrides)
+    return run_program(program, detector=spec.detector, config=config,
+                       text_input=spec.text_input,
+                       int_input=list(spec.int_input))
 
 
 def run_with_and_without(program, detector_name, config=None,

@@ -36,6 +36,13 @@ class BugReport:
         """Dedup key: one report per (kind, site)."""
         return (self.kind, self.assert_id or self.code_addr)
 
+    def to_dict(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**{slot: data[slot] for slot in cls.__slots__})
+
     def __repr__(self):
         where = 'NT-path' if self.in_nt_path else 'taken path'
         return '<BugReport %s at %s (%s)%s>' % (

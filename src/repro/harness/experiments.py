@@ -5,6 +5,13 @@ Every function returns an
 the rows/series the paper reports; the benchmark harness prints them
 and EXPERIMENTS.md records paper-vs-measured.  DESIGN.md Section 4 maps
 experiment ids to paper artifacts.
+
+The heavy drivers (``run_fig7``, ``run_fig8``, ``run_fig9``,
+``run_table6``) describe their simulations as
+:class:`~repro.jobs.spec.JobSpec` batches and accept an optional
+``pool`` (a :class:`~repro.jobs.pool.JobPool`); with ``pool=None``
+every job runs in-process.  Pooled and serial execution are required to
+produce identical tables (DESIGN.md).
 """
 
 from __future__ import annotations
@@ -14,8 +21,9 @@ from repro.apps.registry import (BUGGY_APP_NAMES, WORKLOAD_APP_NAMES,
                                  get_app, total_tested_bugs)
 from repro.core.config import Mode, PathExpanderConfig
 from repro.core.result import NTPathTermination
-from repro.core.runner import make_detector, run_program
+from repro.core.runner import make_detector, run_job, run_program
 from repro.harness.reporting import ExperimentResult, percent
+from repro.jobs.spec import JobSpec
 from repro.workloads.inputs import CUMULATIVE_APP_NAMES, input_suite
 
 # Memory-bug applications and the versions carrying their bugs,
@@ -31,6 +39,24 @@ def _run_app(app, program, detector, mode=Mode.STANDARD, inputs=None,
     config = app.make_config(mode=mode, **overrides)
     return run_program(program, detector=make_detector(detector),
                        config=config, text_input=text, int_input=ints)
+
+
+def _app_job(app_name, detector, mode=Mode.STANDARD, version=0,
+             inputs=None, **overrides):
+    """Describe one ``_run_app``-equivalent run as a cacheable spec."""
+    app = get_app(app_name)
+    text, ints = inputs if inputs is not None else app.default_input()
+    return JobSpec.for_app(app_name, version=version, mode=mode,
+                           detector=detector,
+                           config_overrides=overrides,
+                           text_input=text, int_input=ints)
+
+
+def _run_jobs(pool, specs):
+    """Resolve a spec batch through a JobPool, or in-process."""
+    if pool is not None:
+        return pool.run(specs)
+    return [run_job(spec) for spec in specs]
 
 
 # ---------------------------------------------------------------------
@@ -250,14 +276,13 @@ def run_fig3(apps=FIG3_APPS):
 # ---------------------------------------------------------------------
 # Coverage, single input (Figure 7 analogue)
 
-def run_fig7(apps=WORKLOAD_APP_NAMES, mode=Mode.STANDARD):
+def run_fig7(apps=WORKLOAD_APP_NAMES, mode=Mode.STANDARD, pool=None):
+    specs = [_app_job(app_name, 'none', mode=mode) for app_name in apps]
+    results = _run_jobs(pool, specs)
     rows = []
     base_sum = 0.0
     total_sum = 0.0
-    for app_name in apps:
-        app = get_app(app_name)
-        program = app.compile(0)
-        result = _run_app(app, program, 'none', mode=mode)
+    for app_name, result in zip(apps, results):
         base_sum += result.baseline_coverage
         total_sum += result.total_coverage
         rows.append((app_name, result.total_edges,
@@ -277,15 +302,20 @@ def run_fig7(apps=WORKLOAD_APP_NAMES, mode=Mode.STANDARD):
 # ---------------------------------------------------------------------
 # Cumulative coverage over multiple inputs (Figure 8 analogue)
 
-def run_fig8(apps=CUMULATIVE_APP_NAMES, runs=50):
+def run_fig8(apps=CUMULATIVE_APP_NAMES, runs=50, pool=None):
+    specs = []
+    spans = []
+    for app_name in apps:
+        start = len(specs)
+        for inputs in input_suite(app_name, count=runs):
+            specs.append(_app_job(app_name, 'none', inputs=inputs))
+        spans.append((app_name, start, len(specs)))
+    results = _run_jobs(pool, specs)
     rows = []
     base_sum = 0.0
     total_sum = 0.0
-    for app_name in apps:
-        app = get_app(app_name)
-        program = app.compile(0)
-        base_cov, total_cov = _cumulative_for_app(app, program,
-                                                  app_name, runs)
+    for app_name, start, stop in spans:
+        base_cov, total_cov = _cumulative_coverage(results[start:stop])
         base_sum += base_cov
         total_sum += total_cov
         rows.append((app_name, runs, percent(base_cov),
@@ -303,32 +333,33 @@ def run_fig8(apps=CUMULATIVE_APP_NAMES, runs=50):
                'on average'])
 
 
-def _cumulative_for_app(app, program, app_name, runs):
+def _cumulative_coverage(results):
+    """Union per-run edge sets (Section 7 multi-input experiment)."""
     baseline_edges = set()
     all_edges = set()
-    for text, ints in input_suite(app_name, count=runs):
-        result = run_program(
-            program, detector=None,
-            config=app.make_config(mode=Mode.STANDARD),
-            text_input=text, int_input=ints)
+    total = 1
+    for result in results:
         baseline_edges |= result.taken_edges
         all_edges |= result.covered_edges
-    total = max(program.num_edges, 1)
+        total = max(result.total_edges, 1)
     return len(baseline_edges) / total, len(all_edges) / total
 
 
 # ---------------------------------------------------------------------
 # Overhead (Figure 9 analogue)
 
-def run_fig9(apps=WORKLOAD_APP_NAMES, detector='ccured'):
+FIG9_MODES = (Mode.BASELINE, Mode.STANDARD, Mode.CMP)
+
+
+def run_fig9(apps=WORKLOAD_APP_NAMES, detector='ccured', pool=None):
+    specs = [_app_job(app_name, detector, mode=mode)
+             for app_name in apps for mode in FIG9_MODES]
+    results = _run_jobs(pool, specs)
     rows = []
     worst_cmp = 0.0
-    for app_name in apps:
-        app = get_app(app_name)
-        program = app.compile(0)
-        base = _run_app(app, program, detector, mode=Mode.BASELINE)
-        std = _run_app(app, program, detector, mode=Mode.STANDARD)
-        cmp_ = _run_app(app, program, detector, mode=Mode.CMP)
+    for index, app_name in enumerate(apps):
+        base, std, cmp_ = results[index * len(FIG9_MODES):
+                                  (index + 1) * len(FIG9_MODES)]
         std_overhead = std.overhead_vs(base)
         cmp_overhead = cmp_.overhead_vs(base)
         worst_cmp = max(worst_cmp, cmp_overhead)
@@ -347,18 +378,20 @@ def run_fig9(apps=WORKLOAD_APP_NAMES, detector='ccured'):
 # ---------------------------------------------------------------------
 # Hardware vs software implementation (Section 7.5)
 
+TABLE6_MODES = (Mode.BASELINE, Mode.CMP, Mode.SOFTWARE)
+
+
 def run_table6(apps=('print_tokens2', 'schedule', 'bc_calc', 'gzip_app'),
-               detector='ccured'):
+               detector='ccured', pool=None):
     import math
+    specs = [_app_job(app_name, detector, mode=mode)
+             for app_name in apps for mode in TABLE6_MODES]
+    results = _run_jobs(pool, specs)
     rows = []
     ratios = []
-    for app_name in apps:
-        app = get_app(app_name)
-        program = app.compile(0)
-        base = _run_app(app, program, detector, mode=Mode.BASELINE)
-        cmp_ = _run_app(app, program, detector, mode=Mode.CMP)
-        sw = _run_app(app, program, detector, mode=Mode.SOFTWARE)
-        config = app.make_config(mode=Mode.SOFTWARE)
+    for index, app_name in enumerate(apps):
+        base, cmp_, sw = results[index * len(TABLE6_MODES):
+                                 (index + 1) * len(TABLE6_MODES)]
         native = base.cycles
         hw_overhead = max(cmp_.overhead_vs(base), 1e-6)
         sw_overhead = (sw.cycles - native) / native
@@ -490,7 +523,7 @@ EXERCISED_EDGE_TARGETS = (('bc_calc', 0, 'ccured', 'bc_flush'),
                           ('schedule2', 5, 'assertions', 'sch2_v5'))
 
 
-def run_ext_random_selection(rate=0.3):
+def run_ext_random_selection(rate=0.3, seed=0xC0FFEE):
     rows = []
     for app_name, version, tool, bug_id in EXERCISED_EDGE_TARGETS:
         app = get_app(app_name)
@@ -498,8 +531,12 @@ def run_ext_random_selection(rate=0.3):
         bugs = [bug for bug in app.bugs(version)
                 if bug.bug_id == bug_id]
         plain = _run_app(app, program, tool)
+        # The seed reaches NTPathSelector via the config, so a given
+        # (rate, seed) pair is reproducible and hashes into a stable
+        # JobSpec key.
         randomized = _run_app(app, program, tool,
-                              selection_random_rate=rate)
+                              selection_random_rate=rate,
+                              selection_random_seed=seed)
         found_plain, _ = classify_reports(plain.reports, bugs)
         found_random, _ = classify_reports(randomized.reports, bugs)
         rows.append((bug_id, app_name,
@@ -507,7 +544,8 @@ def run_ext_random_selection(rate=0.3):
                      'yes' if found_random else 'no',
                      randomized.nt_spawned - plain.nt_spawned))
     return ExperimentResult(
-        'ext2', 'Random factor in NT-path selection (rate=%.2f)' % rate,
+        'ext2', 'Random factor in NT-path selection (rate=%.2f, '
+        'seed=%#x)' % (rate, seed),
         ['bug', 'application', 'detected (counter only)',
          'detected (with random factor)', 'extra NT-paths'], rows,
         notes=['paper: "this problem can be addressed by adding random '

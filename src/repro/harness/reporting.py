@@ -33,6 +33,13 @@ class ExperimentResult:
     def row_dict(self, key_column=0):
         return {row[key_column]: row for row in self.rows}
 
+    def to_dict(self):
+        """JSON-friendly form (``repro ... --json``)."""
+        return {'id': self.exp_id, 'title': self.title,
+                'headers': list(self.headers),
+                'rows': [list(row) for row in self.rows],
+                'notes': list(self.notes)}
+
     def __repr__(self):
         return '<ExperimentResult %s: %d rows>' % (self.exp_id,
                                                    len(self.rows))

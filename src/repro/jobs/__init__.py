@@ -1,0 +1,24 @@
+"""Parallel job execution with an on-disk result cache.
+
+The experiment harness describes every simulation it needs as a frozen,
+content-addressed :class:`~repro.jobs.spec.JobSpec`; a
+:class:`~repro.jobs.pool.JobPool` fans the specs out across worker
+processes, retries transient failures, consults a
+:class:`~repro.jobs.store.ResultStore` so a run whose inputs have not
+changed is never executed twice, and accounts for everything in a
+:class:`~repro.jobs.metrics.RunMetrics`.
+
+Invariant (see DESIGN.md): pooled and serial execution are required to
+produce identical results — the pool only changes *where* a simulation
+runs, never what it computes.
+"""
+
+from __future__ import annotations
+
+from repro.jobs.metrics import RunMetrics
+from repro.jobs.pool import JobExecutionError, JobPool
+from repro.jobs.spec import JobSpec
+from repro.jobs.store import ResultStore
+
+__all__ = ['JobSpec', 'ResultStore', 'JobPool', 'JobExecutionError',
+           'RunMetrics']

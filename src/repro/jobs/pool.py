@@ -1,0 +1,209 @@
+"""Job scheduler: process-pool fan-out with cache, retries, fallback.
+
+The pool resolves each :class:`~repro.jobs.spec.JobSpec` in three
+steps: serve it from the :class:`~repro.jobs.store.ResultStore` if a
+valid record exists, otherwise execute it — across a
+``ProcessPoolExecutor`` when ``jobs > 1``, in-process otherwise — and
+persist the fresh result.  Failed attempts are retried with exponential
+backoff; a per-job timeout (pooled mode only) counts as a failed
+attempt.  If worker processes cannot be spawned, or the pool breaks
+mid-batch, the remaining jobs fall back to serial in-process execution
+rather than failing the batch.
+
+Workers return plain dicts (``RunResult.to_dict()``), the same form the
+cache stores, so the pooled, serial and cached paths all rehydrate
+results identically.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.core.result import RunResult
+from repro.jobs.metrics import RunMetrics
+from repro.jobs.spec import JobSpec
+
+
+class JobExecutionError(RuntimeError):
+    """A job failed every allowed attempt."""
+
+    def __init__(self, spec, attempts, reason):
+        super().__init__('job %s failed after %d attempt(s): %s'
+                         % (spec, attempts, reason))
+        self.spec = spec
+        self.attempts = attempts
+        self.reason = reason
+
+
+def execute_spec(spec_dict):
+    """Worker entry point: run one job, return ``(result_dict, secs)``.
+
+    Module-level (and fed plain dicts) so ``ProcessPoolExecutor`` can
+    pickle both the callable and its argument.
+    """
+    from repro.core.runner import run_job
+    start = time.perf_counter()
+    result = run_job(JobSpec.from_dict(spec_dict))
+    return result.to_dict(), time.perf_counter() - start
+
+
+class JobPool:
+    """Schedules job specs over workers, a cache and a retry policy."""
+
+    def __init__(self, jobs=1, store=None, metrics=None, timeout=None,
+                 retries=2, backoff=0.25, runner=None):
+        if jobs < 1:
+            raise ValueError('jobs must be >= 1')
+        self.jobs = jobs
+        self.store = store
+        self.metrics = metrics if metrics is not None else RunMetrics()
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.runner = runner if runner is not None else execute_spec
+
+    # ------------------------------------------------------------------
+
+    def run(self, specs):
+        """Resolve every spec; results come back in submission order."""
+        specs = list(specs)
+        start = time.perf_counter()
+        evictions_before = self.store.corrupt_evictions if self.store \
+            else 0
+        results = [None] * len(specs)
+        pending = []
+        for index, spec in enumerate(specs):
+            self.metrics.incr('jobs_submitted')
+            record = self.store.get(spec.key) if self.store else None
+            if record is not None:
+                self.metrics.incr('cache_hits')
+                self.metrics.event('cache_hit', key=spec.key)
+                results[index] = RunResult.from_dict(record['result'])
+            else:
+                if self.store is not None:
+                    self.metrics.incr('cache_misses')
+                pending.append((index, spec))
+        if self.store is not None:
+            evicted = self.store.corrupt_evictions - evictions_before
+            if evicted:
+                self.metrics.incr('corrupt_evictions', evicted)
+        if pending:
+            if self.jobs > 1:
+                executed = self._run_pooled(pending)
+            else:
+                executed = self._run_serial(pending)
+            for index, result in executed:
+                results[index] = result
+        self.metrics.add_wall_time(time.perf_counter() - start)
+        return results
+
+    def run_one(self, spec):
+        return self.run([spec])[0]
+
+    # ------------------------------------------------------------------
+
+    def _backoff_delay(self, attempt):
+        return self.backoff * (2 ** (attempt - 1))
+
+    def _finish(self, spec, result_dict, elapsed):
+        self.metrics.incr('jobs_run')
+        self.metrics.add_sim_time(elapsed)
+        self.metrics.event('job_done', key=spec.key,
+                           seconds=round(elapsed, 6))
+        if self.store is not None:
+            self.store.put(spec.key, spec.to_dict(), result_dict,
+                           elapsed)
+        return RunResult.from_dict(result_dict)
+
+    # -- serial path ---------------------------------------------------
+
+    def _run_serial(self, pending):
+        out = []
+        for index, spec in pending:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    result_dict, elapsed = self.runner(spec.to_dict())
+                except Exception as exc:
+                    self.metrics.incr('failures')
+                    self.metrics.event('job_failed', key=spec.key,
+                                       attempt=attempts,
+                                       error=repr(exc))
+                    if attempts > self.retries:
+                        raise JobExecutionError(spec, attempts,
+                                                repr(exc)) from exc
+                    self.metrics.incr('retries')
+                    time.sleep(self._backoff_delay(attempts))
+                else:
+                    out.append((index,
+                                self._finish(spec, result_dict,
+                                             elapsed)))
+                    break
+        return out
+
+    # -- pooled path ---------------------------------------------------
+
+    def _run_pooled(self, pending):
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending)))
+        except Exception as exc:
+            self.metrics.incr('serial_fallbacks')
+            self.metrics.event('serial_fallback', error=repr(exc))
+            return self._run_serial(pending)
+        out = []
+        done = set()
+        try:
+            futures = {index: executor.submit(self.runner,
+                                              spec.to_dict())
+                       for index, spec in pending}
+            for index, spec in pending:
+                out.append((index,
+                            self._await_job(executor, futures, index,
+                                            spec)))
+                done.add(index)
+        except BrokenProcessPool as exc:
+            self.metrics.incr('serial_fallbacks')
+            self.metrics.event('serial_fallback', error=repr(exc))
+            rest = [(i, s) for i, s in pending if i not in done]
+            out.extend(self._run_serial(rest))
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return out
+
+    def _await_job(self, executor, futures, index, spec):
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                result_dict, elapsed = \
+                    futures[index].result(timeout=self.timeout)
+            except FutureTimeout:
+                futures[index].cancel()
+                self.metrics.incr('timeouts')
+                self.metrics.event('job_timeout', key=spec.key,
+                                   attempt=attempts,
+                                   timeout=self.timeout)
+                if attempts > self.retries:
+                    raise JobExecutionError(
+                        spec, attempts,
+                        'timed out after %ss' % self.timeout)
+            except BrokenProcessPool:
+                raise
+            except Exception as exc:
+                self.metrics.incr('failures')
+                self.metrics.event('job_failed', key=spec.key,
+                                   attempt=attempts, error=repr(exc))
+                if attempts > self.retries:
+                    raise JobExecutionError(spec, attempts,
+                                            repr(exc)) from exc
+            else:
+                return self._finish(spec, result_dict, elapsed)
+            self.metrics.incr('retries')
+            time.sleep(self._backoff_delay(attempts))
+            futures[index] = executor.submit(self.runner,
+                                             spec.to_dict())

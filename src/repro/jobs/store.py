@@ -1,0 +1,116 @@
+"""On-disk result cache keyed by :attr:`JobSpec.key`.
+
+One JSON record per job, sharded by key prefix
+(``<root>/ab/abcdef….json``).  Writes go through a temporary file in
+the same directory followed by :func:`os.replace`, so a record is
+either fully present or absent — never half-written.  Reads are
+corruption-tolerant: a record that fails to parse or fails its sanity
+checks is *evicted* (deleted) and reported as a miss, so the job simply
+reruns instead of crashing the batch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+_RECORD_VERSION = 1
+
+
+class ResultStore:
+    """Directory-backed cache of serialized run results."""
+
+    def __init__(self, root):
+        self.root = os.fspath(root)
+        self.corrupt_evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + '.json')
+
+    def _evict(self, path):
+        self.corrupt_evictions += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+
+    def get(self, key):
+        """The cached record for ``key``, or ``None`` on miss.
+
+        A corrupt or mismatched record counts as a miss and is removed
+        so the next :meth:`put` starts clean.
+        """
+        path = self._path(key)
+        try:
+            with open(path, encoding='utf-8') as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._evict(path)
+            return None
+        if not isinstance(record, dict) or record.get('key') != key \
+                or not isinstance(record.get('result'), dict):
+            self._evict(path)
+            return None
+        return record
+
+    def put(self, key, spec_dict, result_dict, elapsed_seconds):
+        """Atomically persist one job result."""
+        record = {
+            'record_version': _RECORD_VERSION,
+            'key': key,
+            'spec': spec_dict,
+            'result': result_dict,
+            'elapsed_seconds': elapsed_seconds,
+        }
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix='.tmp')
+        try:
+            with os.fdopen(fd, 'w', encoding='utf-8') as handle:
+                json.dump(record, handle, sort_keys=True,
+                          separators=(',', ':'))
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key):
+        return os.path.exists(self._path(key))
+
+    def keys(self):
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith('.json'):
+                    yield name[:-len('.json')]
+
+    def __len__(self):
+        return sum(1 for _key in self.keys())
+
+    def clear(self):
+        for key in list(self.keys()):
+            try:
+                os.unlink(self._path(key))
+            except OSError:
+                pass
+
+    def __repr__(self):
+        return '<ResultStore %s: %d records>' % (self.root, len(self))
