@@ -1,0 +1,212 @@
+"""Interpreter throughput: reference vs. fast execution backend.
+
+Two synthetic kernels bound the backends' throughput (MIPS):
+
+* ``alu_baseline`` -- a detector-free, cache-light ALU loop in baseline
+  mode.  Its body is one straight-line run, so the fast backend fuses
+  it into a single closure: this measures the best-case dispatch win.
+* ``mem_monitored`` -- a load/store loop with data-dependent branches,
+  run in standard mode under CCured with NT-path spawning enabled.
+  NT-paths step per instruction in both backends, so this measures the
+  realistic monitored-run win.
+
+Both kernels are also differential tests: the run must produce a
+byte-identical :class:`RunResult` on both backends before a timing is
+accepted.
+
+Run standalone (CI perf-smoke does) to write ``BENCH_interp.json``::
+
+    PYTHONPATH=src python benchmarks/bench_interp_throughput.py \
+        --json BENCH_interp.json --check-ratio 2.0
+
+``--check-ratio R`` exits non-zero if the fast backend is below R x
+reference on the ``alu_baseline`` kernel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+if __package__ is None and __name__ == '__main__':
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        'src'))
+
+from repro.core.config import PathExpanderConfig
+from repro.core.runner import make_detector, run_program
+from repro.isa.instructions import Instr
+from repro.isa.program import Program
+
+
+def build_alu_kernel(iters=200_000):
+    """A fuse-friendly ALU loop: ~30 straight-line register ops per
+    iteration, one backward branch."""
+    code = []
+    emit = code.append
+    emit(Instr('li', 1, 0))            # induction variable
+    emit(Instr('li', 2, iters))        # trip count
+    for reg in range(3, 11):
+        emit(Instr('li', reg, reg * 7 + 1))
+    loop = len(code)
+    for _ in range(4):
+        emit(Instr('add', 3, 3, 4))
+        emit(Instr('xor', 4, 4, 5))
+        emit(Instr('sub', 5, 5, 6))
+        emit(Instr('and', 6, 6, 7))
+        emit(Instr('or', 7, 7, 8))
+        emit(Instr('shl', 8, 8, 9))
+        emit(Instr('shr', 9, 9, 10))
+    emit(Instr('addi', 1, 1, 1))
+    emit(Instr('slt', 11, 1, 2))
+    emit(Instr('br', 11, loop))
+    emit(Instr('halt'))
+    return Program(code, {'main': 0}, 0, 64, name='alu_kernel')
+
+
+def build_mem_kernel(iters=40_000):
+    """A memory/branch loop: a read-modify-write on a global word plus
+    a data-dependent branch that the selector turns into NT-paths."""
+    code = []
+    emit = code.append
+    emit(Instr('li', 1, 0))            # induction variable
+    emit(Instr('li', 2, iters))        # trip count
+    emit(Instr('li', 3, 16))           # global array base
+    emit(Instr('li', 6, 0))            # accumulator
+    loop = len(code)
+    emit(Instr('li', 4, 0))
+    emit(Instr('addi', 4, 3, 3))
+    emit(Instr('ld', 5, 4, 0))
+    emit(Instr('addi', 5, 5, 1))
+    emit(Instr('st', 5, 4, 0))
+    emit(Instr('add', 6, 6, 5))
+    emit(Instr('and', 7, 1, 5))
+    emit(Instr('sgt', 8, 7, 6))
+    emit(Instr('br', 8, len(code) + 3))    # rarely taken
+    emit(Instr('addi', 6, 6, 1))
+    emit(Instr('jmp', len(code) + 1))
+    emit(Instr('addi', 6, 6, 2))           # branch target
+    emit(Instr('addi', 1, 1, 1))
+    emit(Instr('slt', 9, 1, 2))
+    emit(Instr('br', 9, loop))
+    emit(Instr('halt'))
+    return Program(code, {'main': 0}, 0, 64, name='mem_kernel')
+
+
+SCENARIOS = {
+    'alu_baseline': {
+        'build': build_alu_kernel,
+        'mode': 'baseline',
+        'detector': 'none',
+        'overrides': {},
+    },
+    'mem_monitored': {
+        'build': build_mem_kernel,
+        'mode': 'standard',
+        'detector': 'ccured',
+        # Shorter counter-reset interval so the selector keeps
+        # spawning NT-paths across the whole run.
+        'overrides': {'max_nt_path_length': 100,
+                      'counter_reset_interval': 100_000},
+    },
+}
+
+
+def _run_once(program, scenario, backend):
+    config = PathExpanderConfig(mode=scenario['mode'], backend=backend,
+                                **scenario['overrides'])
+    start = time.perf_counter()
+    result = run_program(program, detector=make_detector(
+        scenario['detector']), config=config)
+    return time.perf_counter() - start, result.to_dict()
+
+
+def measure_scenario(name, scale=1.0, repeats=3):
+    scenario = SCENARIOS[name]
+    build = scenario['build']
+    default_iters = build.__defaults__[0]
+    program = build(max(1000, int(default_iters * scale)))
+    row = {'mode': scenario['mode'], 'detector': scenario['detector']}
+    reference_dict = None
+    for backend in ('reference', 'fast'):
+        best = None
+        for _ in range(repeats):
+            seconds, data = _run_once(program, scenario, backend)
+            best = seconds if best is None else min(best, seconds)
+        if backend == 'reference':
+            reference_dict = data
+        elif data != reference_dict:
+            raise AssertionError(
+                'backend mismatch on %s: fast RunResult differs from '
+                'reference' % name)
+        instret = data['instret_taken'] + data['instret_nt']
+        row[backend] = {'seconds': round(best, 4),
+                        'mips': round(instret / best / 1e6, 3)}
+    row['instret'] = (reference_dict['instret_taken']
+                      + reference_dict['instret_nt'])
+    row['nt_spawned'] = reference_dict['nt_spawned']
+    row['speedup'] = round(row['reference']['seconds']
+                           / row['fast']['seconds'], 3)
+    return row
+
+
+def measure(scale=1.0, repeats=3):
+    payload = {'benchmark': 'interp_throughput', 'scale': scale,
+               'repeats': repeats, 'scenarios': {}}
+    for name in SCENARIOS:
+        payload['scenarios'][name] = measure_scenario(
+            name, scale=scale, repeats=repeats)
+    return payload
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split('\n')[0])
+    parser.add_argument('--json', default=None, metavar='PATH',
+                        help='write the measurements to PATH')
+    parser.add_argument('--scale', type=float, default=1.0,
+                        help='kernel iteration multiplier')
+    parser.add_argument('--repeats', type=int, default=3,
+                        help='timing repetitions (best-of)')
+    parser.add_argument('--check-ratio', type=float, default=None,
+                        metavar='R',
+                        help='fail unless fast >= R x reference on the '
+                             'alu_baseline kernel')
+    args = parser.parse_args(argv)
+
+    payload = measure(scale=args.scale, repeats=args.repeats)
+    for name, row in payload['scenarios'].items():
+        print('%-14s ref=%6.2f MIPS  fast=%6.2f MIPS  speedup=%.2fx  '
+              'nt_spawned=%d'
+              % (name, row['reference']['mips'], row['fast']['mips'],
+                 row['speedup'], row['nt_spawned']))
+    if args.json:
+        with open(args.json, 'w') as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write('\n')
+        print('wrote', args.json)
+    if args.check_ratio is not None:
+        speedup = payload['scenarios']['alu_baseline']['speedup']
+        if speedup < args.check_ratio:
+            print('FAIL: alu_baseline speedup %.2fx < required %.2fx'
+                  % (speedup, args.check_ratio), file=sys.stderr)
+            return 1
+        print('ratio gate OK: %.2fx >= %.2fx'
+              % (speedup, args.check_ratio))
+    return 0
+
+
+def test_interp_throughput(benchmark):
+    """Pytest wrapper: a scaled-down run of both scenarios, asserting
+    the fast backend wins on the fuse-friendly kernel."""
+    payload = benchmark.pedantic(
+        lambda: measure(scale=0.1, repeats=1), rounds=1, iterations=1)
+    for name, row in payload['scenarios'].items():
+        print('%s: speedup=%.2fx' % (name, row['speedup']))
+    assert payload['scenarios']['alu_baseline']['speedup'] > 1.0
+
+
+if __name__ == '__main__':
+    sys.exit(main())

@@ -11,6 +11,11 @@ pooled experiment drivers (fig7, fig8, fig9, table6) through a
 measured kernels are unchanged — the same ``run_*`` driver is timed —
 so the benchmarks exercise both the serial and pooled execution paths,
 which are required to produce identical tables.
+
+``--backend NAME`` (or ``$REPRO_BACKEND``) selects the execution
+backend every simulation uses ('reference' or 'fast').  The two are
+result-equivalent, so every table is identical either way — only the
+wall-clock changes.
 """
 
 from __future__ import annotations
@@ -32,6 +37,21 @@ def pytest_addoption(parser):
         '--jobs', type=int, default=jobs_requested(),
         help='worker processes for pooled experiment drivers '
              '(default: $REPRO_JOBS or 1 = serial in-process)')
+    parser.addoption(
+        '--backend', default=None,
+        choices=['reference', 'fast'],
+        help='execution backend for every simulation '
+             '(default: $REPRO_BACKEND or fast)')
+
+
+def pytest_configure(config):
+    backend = config.getoption('--backend', default=None)
+    if backend:
+        from repro.core.config import set_default_backend
+        set_default_backend(backend)
+        # Pool workers are separate processes; they inherit the
+        # choice through the environment.
+        os.environ['REPRO_BACKEND'] = backend
 
 
 @pytest.fixture

@@ -26,7 +26,8 @@ import sys
 
 from repro.apps.bugs import classify_reports
 from repro.apps.registry import ALL_APPS, get_app
-from repro.core.config import Mode, PathExpanderConfig
+from repro.core.config import (BACKEND_CHOICES, Mode, PathExpanderConfig,
+                               set_default_backend)
 from repro.core.runner import make_detector, run_program
 from repro.harness import experiments
 from repro.harness.trace import TracedRun
@@ -82,6 +83,10 @@ def _build_parser():
                          help='print the NT-path event log')
     run_cmd.add_argument('--no-fixing', action='store_true',
                          help='disable variable fixing (Section 4.4)')
+    run_cmd.add_argument('--backend', default=None,
+                         choices=list(BACKEND_CHOICES),
+                         help='execution backend (default: fast, or '
+                              '$REPRO_BACKEND)')
 
     disasm_cmd = sub.add_parser('disasm',
                                 help='disassemble a MiniC file')
@@ -128,6 +133,20 @@ def _add_jobs_options(cmd):
     cmd.add_argument('--apps', default=None,
                      help='comma-separated app subset for the '
                           'coverage/overhead experiments')
+    cmd.add_argument('--backend', default=None,
+                     choices=list(BACKEND_CHOICES),
+                     help='execution backend for every simulation '
+                          '(default: fast, or $REPRO_BACKEND)')
+
+
+def _apply_backend(args):
+    """Make ``--backend`` the process-wide default, including for job
+    pool workers (which inherit it through ``$REPRO_BACKEND``).  Cache
+    keys ignore the backend on purpose: the two backends are
+    result-equivalent, so cached results stay valid either way."""
+    if getattr(args, 'backend', None):
+        set_default_backend(args.backend)
+        os.environ['REPRO_BACKEND'] = args.backend
 
 
 def _make_pool(args):
@@ -163,7 +182,7 @@ def _cmd_run(args):
     program = compile_minic(source, name=args.file)
     config = PathExpanderConfig(
         mode=args.mode, variable_fixing=not args.no_fixing,
-        collect_nt_details=args.trace)
+        collect_nt_details=args.trace, backend=args.backend)
     detector = make_detector(args.detector)
     if args.trace:
         traced = TracedRun(program, detector=detector, config=config,
@@ -233,6 +252,7 @@ def _cmd_bugs(args):
 
 
 def _cmd_experiment(args):
+    _apply_backend(args)
     if args.plot and args.id == 'fig3':
         from repro.harness.plots import fig3_plot
         result, details = experiments.run_fig3()
@@ -274,6 +294,7 @@ def _cmd_batch(args):
               % (', '.join(unknown), ', '.join(sorted(
                   EXPERIMENT_RUNNERS))), file=sys.stderr)
         return 2
+    _apply_backend(args)
     pool = _make_pool(args)
     payloads = []
     for exp_id in ids:

@@ -24,6 +24,37 @@ enables the Section 4.2(3) ablation the paper evaluated and rejected.
 
 from __future__ import annotations
 
+import os
+
+# Execution backends (see repro.cpu.backend).  The process-wide default
+# is 'fast'; REPRO_BACKEND overrides it (and, because environment
+# variables propagate to pool workers, steers whole batch runs), and
+# set_default_backend() overrides both -- the CLI uses it so one
+# --backend flag reaches every job a command spawns.
+BACKEND_CHOICES = ('reference', 'fast')
+
+DEFAULT_BACKEND = 'fast'
+_backend_override = None
+
+
+def set_default_backend(backend):
+    """Process-wide backend for configs that do not pin one."""
+    global _backend_override
+    if backend is not None and backend not in BACKEND_CHOICES:
+        raise ValueError('bad backend %r' % backend)
+    _backend_override = backend
+
+
+def default_backend():
+    if _backend_override is not None:
+        return _backend_override
+    env = os.environ.get('REPRO_BACKEND')
+    if env:
+        if env not in BACKEND_CHOICES:
+            raise ValueError('bad REPRO_BACKEND %r' % env)
+        return env
+    return DEFAULT_BACKEND
+
 
 class Mode:
     BASELINE = 'baseline'      # detector only, no PathExpander
@@ -39,6 +70,7 @@ class PathExpanderConfig:
 
     def __init__(self,
                  mode=Mode.STANDARD,
+                 backend=None,
                  nt_counter_threshold=5,
                  counter_reset_interval=1_000_000,
                  max_nt_path_length=1000,
@@ -74,6 +106,13 @@ class PathExpanderConfig:
         if mode not in Mode.ALL:
             raise ValueError('bad mode %r' % mode)
         self.mode = mode
+        if backend is not None and backend not in BACKEND_CHOICES:
+            raise ValueError('bad backend %r' % backend)
+        # None = resolve default_backend() at engine-construction time,
+        # so a config built before set_default_backend()/REPRO_BACKEND
+        # takes effect still honours them (and job-cache keys stay
+        # backend-independent: both backends produce identical results).
+        self.backend = backend
         self.nt_counter_threshold = nt_counter_threshold
         self.counter_reset_interval = counter_reset_interval
         self.max_nt_path_length = max_nt_path_length
@@ -109,6 +148,12 @@ class PathExpanderConfig:
     @property
     def spawning_enabled(self):
         return self.mode != Mode.BASELINE
+
+    @property
+    def resolved_backend(self):
+        """The backend to run with: pinned here, or the process default."""
+        return self.backend if self.backend is not None \
+            else default_backend()
 
     def replace(self, **overrides):
         """A copy of this config with some fields replaced."""

@@ -22,8 +22,8 @@ from repro.core.config import Mode, PathExpanderConfig
 from repro.core.result import NTPathRecord, NTPathTermination, RunResult
 from repro.core.selector import NTPathSelector
 from repro.coverage.tracker import CoverageTracker
+from repro.cpu.backend import make_interpreter
 from repro.cpu.exceptions import ProgramExit, SimFault
-from repro.cpu.interpreter import Interpreter
 from repro.cpu.state import Core
 from repro.cpu.syscalls import IOContext
 from repro.cpu.timing import CostModel
@@ -81,10 +81,13 @@ class PathExpanderEngine:
         if detector is not None and hasattr(detector, 'attach'):
             detector.attach(program, self.memory, self.allocator)
 
-        self.interp = Interpreter(program, self.memory, self.allocator,
-                                  self.core, self.io, self.costs,
-                                  cache=self.cache, detector=detector,
-                                  on_branch=self._on_branch)
+        self.backend = cfg.resolved_backend
+        self.interp = make_interpreter(self.backend, program,
+                                       self.memory, self.allocator,
+                                       self.core, self.io, self.costs,
+                                       cache=self.cache,
+                                       detector=detector,
+                                       on_branch=self._on_branch)
         self.interp.sandbox_unsafe = cfg.sandbox_unsafe_events
         self.result = RunResult(program, self.config, detector)
         self.result.total_edges = program.num_edges
@@ -102,9 +105,14 @@ class PathExpanderEngine:
         core = self.core
         interp = self.interp
         limit = self.config.max_instructions
+        # Fused blocks honour the budget themselves (they refuse to
+        # overshoot it); the loop check below lands on exactly the same
+        # truncation point either way.
+        interp.instret_limit = limit
+        step = interp.step_fast
         try:
             while True:
-                interp.step()
+                step()
                 if core.instret >= limit:
                     result.truncated = True
                     break

@@ -1,0 +1,966 @@
+"""Fast execution backend: predecoded dispatch + basic-block closures.
+
+Two mechanisms, layered on the reference :class:`Interpreter`:
+
+1. **Predecode.** The first time an address executes, its instruction
+   is lowered into a specialized Python closure with the operands, the
+   immediate, the next PC, and the static cycle cost bound at decode
+   time.  ``step()`` then becomes one list index and one call -- no
+   opcode string comparison chain, no per-step cost lookup.
+
+2. **Basic-block closure compilation.** Straight-line runs of
+   register-only instructions (see :data:`repro.isa.cfg.FUSEABLE_OPS`)
+   are compiled -- via one ``exec`` of generated source per program --
+   into a single closure that executes the whole run in one call and
+   retires its cycles/instret in one update.  ``step_fast()``
+   dispatches through these blocks.
+
+Semantics are *identical* to the reference backend by construction
+(DESIGN.md, "Dual-backend equivalence invariant"):
+
+* fused blocks contain no branch, memory access, syscall, or detector
+  hook, so nothing observable happens at a finer grain than a block;
+* a faulting instruction inside a block (``div`` by zero, stack
+  overflow) first flushes the cycles/instret of the instructions
+  already executed and restores the faulting PC, reproducing the
+  reference backend's mid-run state exactly;
+* a block refuses to run when it would cross the engine's
+  ``instret_limit`` (``max_instructions``) and executes one
+  instruction instead, so truncation points match;
+* inside NT-paths the engines call ``step()`` -- per-instruction
+  dispatch -- because the sandbox (store buffering, unsafe-event and
+  length checks) must observe every instruction;
+* anything exotic (predicated instructions, ``malloc``/``free``,
+  out-of-range PCs) falls back to the inherited reference ``step``.
+
+Every fallback is automatic and per-address; a program that defeats
+the block compiler entirely still runs, just on predecoded dispatch.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.exceptions import FaultKind, ProgramExit, SimFault
+from repro.cpu.interpreter import Interpreter
+from repro.cpu.timing import PREDICATED_SKIP_COST
+from repro.isa.cfg import BLOCK_OPS, block_leaders, fuseable_run
+from repro.isa.instructions import Reg
+from repro.memory.main_memory import NULL_GUARD, MainMemory
+
+_SHIFT_MASK = 63
+_SP = Reg.SP
+
+
+def _is_reg(value):
+    return isinstance(value, int) and 0 <= value < Reg.COUNT
+
+
+def _is_imm(value):
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+# ======================================================================
+# per-instruction closure factories (predecode)
+#
+# Each factory returns a zero-argument closure reproducing one arm of
+# Interpreter.step for one specific (pc, instr).  Mutable interpreter
+# state that the engines swap mid-run (cache, cache_version,
+# in_nt_path, on_branch, sandbox_unsafe, store_count) is read through
+# ``interp`` at call time; everything fixed for the interpreter's
+# lifetime (core, memory, detector, costs) is bound at decode time.
+
+
+def _dec_li(interp, pc, instr, cost):
+    core, a, imm, npc = interp.core, instr.a, instr.b, pc + 1
+
+    def op_li():
+        if core.pred:
+            core.pred = False
+        core.regs[a] = imm
+        core.pc = npc
+        core.cycles += cost
+        core.instret += 1
+    return op_li
+
+
+def _dec_mov(interp, pc, instr, cost):
+    core, a, b, npc = interp.core, instr.a, instr.b, pc + 1
+
+    def op_mov():
+        if core.pred:
+            core.pred = False
+        regs = core.regs
+        regs[a] = regs[b]
+        core.pc = npc
+        core.cycles += cost
+        core.instret += 1
+    return op_mov
+
+
+def _dec_addi(interp, pc, instr, cost):
+    core, a, b, imm, npc = interp.core, instr.a, instr.b, instr.c, pc + 1
+    if a != _SP:
+        def op_addi():
+            if core.pred:
+                core.pred = False
+            regs = core.regs
+            regs[a] = regs[b] + imm
+            core.pc = npc
+            core.cycles += cost
+            core.instret += 1
+        return op_addi
+
+    stack_limit = interp.memory.stack_limit
+
+    def op_addi_sp():
+        if core.pred:
+            core.pred = False
+        regs = core.regs
+        value = regs[b] + imm
+        regs[a] = value
+        if value < stack_limit:
+            raise SimFault(FaultKind.STACK_OVERFLOW, 'sp=%d' % value)
+        core.pc = npc
+        core.cycles += cost
+        core.instret += 1
+    return op_addi_sp
+
+
+def _make_alu(combine):
+    def factory(interp, pc, instr, cost):
+        core, a, b, c, npc = (interp.core, instr.a, instr.b, instr.c,
+                              pc + 1)
+
+        def op_alu():
+            if core.pred:
+                core.pred = False
+            regs = core.regs
+            regs[a] = combine(regs[b], regs[c])
+            core.pc = npc
+            core.cycles += cost
+            core.instret += 1
+        return op_alu
+    return factory
+
+
+def _make_cmp(test):
+    def factory(interp, pc, instr, cost):
+        core, a, b, c, npc = (interp.core, instr.a, instr.b, instr.c,
+                              pc + 1)
+
+        def op_cmp():
+            if core.pred:
+                core.pred = False
+            regs = core.regs
+            regs[a] = 1 if test(regs[b], regs[c]) else 0
+            core.pc = npc
+            core.cycles += cost
+            core.instret += 1
+        return op_cmp
+    return factory
+
+
+def _dec_div(interp, pc, instr, cost):
+    core, a, b, c, npc = interp.core, instr.a, instr.b, instr.c, pc + 1
+
+    def op_div():
+        if core.pred:
+            core.pred = False
+        regs = core.regs
+        divisor = regs[c]
+        if divisor == 0:
+            raise SimFault(FaultKind.DIV_ZERO, 'pc=%d' % pc)
+        value = regs[b]
+        quotient = abs(value) // abs(divisor)
+        if (value < 0) != (divisor < 0):
+            quotient = -quotient
+        regs[a] = quotient
+        core.pc = npc
+        core.cycles += cost
+        core.instret += 1
+    return op_div
+
+
+def _dec_mod(interp, pc, instr, cost):
+    core, a, b, c, npc = interp.core, instr.a, instr.b, instr.c, pc + 1
+
+    def op_mod():
+        if core.pred:
+            core.pred = False
+        regs = core.regs
+        divisor = regs[c]
+        if divisor == 0:
+            raise SimFault(FaultKind.DIV_ZERO, 'pc=%d' % pc)
+        value = regs[b]
+        remainder = abs(value) % abs(divisor)
+        regs[a] = -remainder if value < 0 else remainder
+        core.pc = npc
+        core.cycles += cost
+        core.instret += 1
+    return op_mod
+
+
+def _dec_ld(interp, pc, instr, cost):
+    core, a, b, off, npc = interp.core, instr.a, instr.b, instr.c, pc + 1
+    mem = interp.memory
+    mem_read = mem.read
+    det = interp.detector
+    l1_hit = interp.costs.l1_hit
+    if type(mem) is MainMemory:
+        cells, msize = mem.cells, mem.size
+
+        def read(addr):
+            if addr < NULL_GUARD or addr >= msize:
+                mem_read(addr)      # raises the exact reference fault
+            return cells[addr]
+    else:
+        read = mem_read
+
+    def op_ld():
+        if core.pred:
+            core.pred = False
+        regs = core.regs
+        addr = regs[b] + off
+        value = read(addr)
+        regs[a] = value
+        cycles = cost
+        cache = interp.cache
+        if cache is not None:
+            cycles += cache.access(addr, False, interp.cache_version) \
+                .cycles
+        else:
+            cycles += l1_hit
+        if det is not None:
+            cycles += det.on_load(addr, value, interp)
+        core.pc = npc
+        core.cycles += cycles
+        core.instret += 1
+        return None
+    return op_ld
+
+
+def _dec_st(interp, pc, instr, cost):
+    core, a, b, off, npc = interp.core, instr.a, instr.b, instr.c, pc + 1
+    mem_write = interp.memory.write
+    det = interp.detector
+    l1_hit = interp.costs.l1_hit
+
+    def op_st():
+        if core.pred:
+            core.pred = False
+        regs = core.regs
+        addr = regs[b] + off
+        value = regs[a]
+        interp.store_count += 1
+        cycles = cost
+        cache = interp.cache
+        if cache is not None:
+            result = cache.access(addr, True, interp.cache_version)
+            cycles += result.cycles
+            if result.volatile_overflow and interp.in_nt_path:
+                core.cycles += cycles
+                return 'overflow'
+        else:
+            cycles += l1_hit
+        mem_write(addr, value)
+        if det is not None:
+            cycles += det.on_store(addr, value, interp)
+        core.pc = npc
+        core.cycles += cycles
+        core.instret += 1
+        return None
+    return op_st
+
+
+def _dec_br(interp, pc, instr, cost):
+    core, a, target, npc = interp.core, instr.a, instr.b, pc + 1
+
+    def op_br():
+        if core.pred:
+            core.pred = False
+        taken = core.regs[a] != 0
+        core.pc = target if taken else npc
+        core.cycles += cost
+        core.instret += 1
+        on_branch = interp.on_branch
+        if on_branch is not None:
+            on_branch(pc, taken, instr)
+        return None
+    return op_br
+
+
+def _dec_jmp(interp, pc, instr, cost):
+    core, target = interp.core, instr.a
+
+    def op_jmp():
+        if core.pred:
+            core.pred = False
+        core.pc = target
+        core.cycles += cost
+        core.instret += 1
+    return op_jmp
+
+
+def _dec_call(interp, pc, instr, cost):
+    core, target, ret_to = interp.core, instr.a, pc + 1
+    mem_write = interp.memory.write
+    stack_limit = interp.memory.stack_limit
+
+    def op_call():
+        if core.pred:
+            core.pred = False
+        if core.call_depth >= core.MAX_CALL_DEPTH:
+            raise SimFault(FaultKind.CALL_DEPTH, 'pc=%d' % pc)
+        regs = core.regs
+        sp = regs[_SP] - 1
+        if sp < stack_limit:
+            raise SimFault(FaultKind.STACK_OVERFLOW, 'sp=%d' % sp)
+        regs[_SP] = sp
+        mem_write(sp, ret_to)
+        core.call_depth += 1
+        core.pc = target
+        core.cycles += cost
+        core.instret += 1
+    return op_call
+
+
+def _dec_ret(interp, pc, instr, cost):
+    core = interp.core
+    mem_read = interp.memory.read
+
+    def op_ret():
+        if core.pred:
+            core.pred = False
+        regs = core.regs
+        sp = regs[_SP]
+        core.pc = mem_read(sp)
+        regs[_SP] = sp + 1
+        core.call_depth -= 1
+        core.cycles += cost
+        core.instret += 1
+    return op_ret
+
+
+def _dec_push(interp, pc, instr, cost):
+    core, a, npc = interp.core, instr.a, pc + 1
+    mem_write = interp.memory.write
+    stack_limit = interp.memory.stack_limit
+
+    def op_push():
+        if core.pred:
+            core.pred = False
+        regs = core.regs
+        sp = regs[_SP] - 1
+        if sp < stack_limit:
+            raise SimFault(FaultKind.STACK_OVERFLOW, 'sp=%d' % sp)
+        regs[_SP] = sp
+        mem_write(sp, regs[a])
+        core.pc = npc
+        core.cycles += cost
+        core.instret += 1
+    return op_push
+
+
+def _dec_pop(interp, pc, instr, cost):
+    core, a, npc = interp.core, instr.a, pc + 1
+    mem_read = interp.memory.read
+
+    def op_pop():
+        if core.pred:
+            core.pred = False
+        regs = core.regs
+        sp = regs[_SP]
+        regs[a] = mem_read(sp)
+        regs[_SP] = sp + 1
+        core.pc = npc
+        core.cycles += cost
+        core.instret += 1
+    return op_pop
+
+
+def _dec_syscall(interp, pc, instr, cost):
+    core, code = interp.core, instr.a
+
+    def op_syscall():
+        if core.pred:
+            core.pred = False
+        if interp.in_nt_path and not interp.sandbox_unsafe:
+            # Unsafe event: do not perform; the engine squashes.
+            return 'unsafe'
+        event = interp._do_syscall(code, core.regs)
+        core.cycles += cost
+        core.instret += 1
+        return event
+    return op_syscall
+
+
+def _dec_assert(interp, pc, instr, cost):
+    core, a, assert_id, npc = interp.core, instr.a, instr.b, pc + 1
+    det = interp.detector
+
+    def op_assert():
+        if core.pred:
+            core.pred = False
+        cycles = cost
+        if core.regs[a] == 0 and det is not None:
+            cycles += det.on_assert_fail(assert_id, pc, interp)
+        core.pc = npc
+        core.cycles += cycles
+        core.instret += 1
+    return op_assert
+
+
+def _dec_halt(interp, pc, instr, cost):
+    core = interp.core
+
+    def op_halt():
+        if core.pred:
+            core.pred = False
+        raise ProgramExit(0)
+    return op_halt
+
+
+def _dec_nop(interp, pc, instr, cost):
+    core, npc = interp.core, pc + 1
+
+    def op_nop():
+        if core.pred:
+            core.pred = False
+        core.pc = npc
+        core.cycles += cost
+        core.instret += 1
+    return op_nop
+
+
+def _dec_predicated(interp, pc, instr, cost):
+    """Predicated instructions: a fast path for the overwhelmingly
+    common skip (core.pred false outside NT-entries), deferring actual
+    predicated *execution* to the fully general reference step."""
+    core, npc = interp.core, pc + 1
+    ref_step = Interpreter.step
+
+    def op_predicated():
+        if not core.pred:
+            core.pc = npc
+            core.cycles += PREDICATED_SKIP_COST
+            core.instret += 1
+            return None
+        return ref_step(interp)
+    return op_predicated
+
+
+_DECODERS = {
+    'li': _dec_li,
+    'mov': _dec_mov,
+    'addi': _dec_addi,
+    'add': _make_alu(lambda x, y: x + y),
+    'sub': _make_alu(lambda x, y: x - y),
+    'mul': _make_alu(lambda x, y: x * y),
+    'and': _make_alu(lambda x, y: x & y),
+    'or': _make_alu(lambda x, y: x | y),
+    'xor': _make_alu(lambda x, y: x ^ y),
+    'shl': _make_alu(lambda x, y: x << (y & _SHIFT_MASK)),
+    'shr': _make_alu(lambda x, y: x >> (y & _SHIFT_MASK)),
+    'slt': _make_cmp(lambda x, y: x < y),
+    'sle': _make_cmp(lambda x, y: x <= y),
+    'seq': _make_cmp(lambda x, y: x == y),
+    'sne': _make_cmp(lambda x, y: x != y),
+    'sgt': _make_cmp(lambda x, y: x > y),
+    'sge': _make_cmp(lambda x, y: x >= y),
+    'div': _dec_div,
+    'mod': _dec_mod,
+    'ld': _dec_ld,
+    'st': _dec_st,
+    'br': _dec_br,
+    'jmp': _dec_jmp,
+    'call': _dec_call,
+    'ret': _dec_ret,
+    'push': _dec_push,
+    'pop': _dec_pop,
+    'syscall': _dec_syscall,
+    'assert': _dec_assert,
+    'halt': _dec_halt,
+    'nop': _dec_nop,
+    # 'malloc'/'free' intentionally absent: allocator-dominated and
+    # rare, they run through the inherited reference step.
+}
+
+
+# ======================================================================
+# basic-block source generation
+
+_ALU_SYMBOL = {'add': '+', 'sub': '-', 'mul': '*',
+               'and': '&', 'or': '|', 'xor': '^'}
+_CMP_SYMBOL = {'slt': '<', 'sle': '<=', 'seq': '==',
+               'sne': '!=', 'sgt': '>', 'sge': '>='}
+
+
+def _emit_pure(instr):
+    """Source lines for a register-only instruction that can neither
+    fault nor reach a hook, or None when ``instr`` is not one."""
+    op, a, b, c = instr.op, instr.a, instr.b, instr.c
+    if op == 'nop':
+        return []
+    if op == 'li':
+        if _is_reg(a) and _is_imm(b):
+            return ['r[%d] = %d' % (a, b)]
+        return None
+    if op == 'mov':
+        if _is_reg(a) and _is_reg(b):
+            return ['r[%d] = r[%d]' % (a, b)]
+        return None
+    if op == 'addi':
+        if a != _SP and _is_reg(a) and _is_reg(b) and _is_imm(c):
+            return ['r[%d] = r[%d] + %d' % (a, b, c)]
+        return None
+    if not (_is_reg(a) and _is_reg(b) and _is_reg(c)):
+        return None
+    if op in _ALU_SYMBOL:
+        return ['r[%d] = r[%d] %s r[%d]' % (a, b, _ALU_SYMBOL[op], c)]
+    if op in _CMP_SYMBOL:
+        return ['r[%d] = 1 if r[%d] %s r[%d] else 0'
+                % (a, b, _CMP_SYMBOL[op], c)]
+    if op == 'shl':
+        return ['r[%d] = r[%d] << (r[%d] & 63)' % (a, b, c)]
+    if op == 'shr':
+        return ['r[%d] = r[%d] >> (r[%d] & 63)' % (a, b, c)]
+    return None
+
+
+class _Emitted:
+    """One fused instruction's generated code and bookkeeping."""
+
+    __slots__ = ('lines', 'static', 'risky', 'cy', 'cache')
+
+    def __init__(self, lines, static, risky=False, cy=False,
+                 cache=False):
+        self.lines = lines
+        self.static = static    # statically known cycle cost
+        self.risky = risky      # may raise SimFault mid-block
+        self.cy = cy            # accumulates dynamic cycles into _cy
+        self.cache = cache      # touches the cache model
+
+
+class _BlockCompiler:
+    """Generates closure source for fused runs of one interpreter.
+
+    The generated function reproduces the reference backend's per-step
+    state machine exactly (see the module docstring): hooks fire in
+    reference order with ``core.pc`` set to the hooked instruction, and
+    a ``SimFault`` unwinds through a handler that retires the cycles
+    and instret of the instructions already completed and parks
+    ``core.pc`` on the faulting instruction.
+    """
+
+    def __init__(self, interp):
+        self.interp = interp
+        self.cost = interp._cost
+        self.has_det = interp.detector is not None
+        self.has_cache = interp.cache is not None
+        self.l1_hit = interp.costs.l1_hit
+        # Plain MainMemory reads can be inlined (bounds guard + list
+        # index); the detailed-CMP memory views cannot.
+        self.inline_read = type(interp.memory) is MainMemory
+
+    # ------------------------------------------------------------------
+
+    def compile(self, leader, count, terminator):
+        """Returns ``(name, source, extra_namespace)`` or None."""
+        code = self.interp.code
+        cost = self.cost
+        parts = []
+        for index in range(count):
+            emitted = self._emit(code[leader + index], leader + index,
+                                 index)
+            if emitted is None:
+                return None
+            parts.append(emitted)
+        retired = count
+        total = sum(part.static for part in parts)
+        risky = any(part.risky for part in parts)
+        has_cy = any(part.cy for part in parts)
+        uses_cache = any(part.cache for part in parts)
+        if terminator is not None:
+            if terminator.op == 'jmp':
+                if not _is_imm(terminator.a):
+                    return None
+            elif not (_is_reg(terminator.a)
+                      and _is_imm(terminator.b)):
+                return None
+            retired += 1
+            total += cost[terminator.op]
+
+        extra = {}
+        name = '_b%d' % leader
+        src = [
+            'def %s():' % name,
+            '    core = _core',
+            '    if core.instret + %d > _interp.instret_limit:'
+            % retired,
+            '        return _fb(%d)' % leader,
+        ]
+        if code[leader].pred:
+            # A predicated leader with the predicate set must *execute*
+            # (and keep the predicate) -- dispatch it singly.  With the
+            # predicate clear (the steady state), it is a skip like any
+            # other predicated instruction in the block.
+            src.append('    if core.pred:')
+            src.append('        return _fb(%d)' % leader)
+        else:
+            src.append('    if core.pred:')
+            src.append('        core.pred = False')
+        src.append('    r = core.regs')
+        if uses_cache:
+            src.append('    _cache = _interp.cache')
+            src.append('    _cv = _interp.cache_version')
+        if has_cy:
+            src.append('    _cy = 0')
+        body_indent = '    '
+        if risky:
+            src.append('    _i = 0')
+            src.append('    try:')
+            body_indent = '        '
+        body_empty = True
+        for part in parts:
+            for line in part.lines:
+                src.append(body_indent + line)
+                body_empty = False
+        if risky:
+            if body_empty:                       # pragma: no cover
+                src.append(body_indent + 'pass')
+            # Partial static-cycle sums, indexed by the faulting
+            # instruction's block position.
+            partials = []
+            acc = 0
+            for part in parts:
+                partials.append(acc)
+                acc += part.static
+            sp_name = '_SP%d' % leader
+            extra[sp_name] = tuple(partials)
+            cy_flush = '_cy + %s[_i]' % sp_name if has_cy \
+                else '%s[_i]' % sp_name
+            src.append('    except _SimFault:')
+            src.append('        core.pc = %d + _i' % leader)
+            src.append('        core.cycles += ' + cy_flush)
+            src.append('        core.instret += _i')
+            src.append('        raise')
+        cy_commit = '_cy + %d' % total if has_cy else '%d' % total
+
+        if terminator is not None and terminator.op == 'br':
+            br_pc = leader + count
+            br_name = '_br%d' % br_pc
+            extra[br_name] = terminator
+            src.append('    _tk = r[%d] != 0' % terminator.a)
+            src.append('    core.pc = %d if _tk else %d'
+                       % (terminator.b, br_pc + 1))
+            src.append('    core.cycles += ' + cy_commit)
+            src.append('    core.instret += %d' % retired)
+            src.append('    _ob = _interp.on_branch')
+            src.append('    if _ob is not None:')
+            src.append('        _ob(%d, _tk, %s)' % (br_pc, br_name))
+            src.append('    return None')
+        else:
+            if terminator is not None:           # absorbed jmp
+                next_pc = terminator.a
+            else:
+                next_pc = leader + count
+            src.append('    core.pc = %d' % next_pc)
+            src.append('    core.cycles += ' + cy_commit)
+            src.append('    core.instret += %d' % retired)
+        return name, '\n'.join(src) + '\n', extra
+
+    # ------------------------------------------------------------------
+
+    def _read_lines(self):
+        """Source reading memory at ``_a`` into ``_v``.
+
+        With plain MainMemory the bounds guard is inlined and the
+        read is a list index; the guarded fallback call raises the
+        exact reference fault (NULL_ACCESS/MEM_OOB) for bad addresses.
+        """
+        if self.inline_read:
+            return ['if _a < %d or _a >= _msize:' % NULL_GUARD,
+                    '    _rd(_a)',
+                    '_v = _cells[_a]']
+        return ['_v = _rd(_a)']
+
+    def _emit(self, instr, pc, index):
+        op, a, b, c = instr.op, instr.a, instr.b, instr.c
+        if instr.pred:
+            # Inside a block the predicate register is provably false
+            # (the prologue cleared it; no fused instruction sets it),
+            # so any predicated instruction is statically a skip.
+            return _Emitted([], PREDICATED_SKIP_COST)
+        cost = self.cost[op]
+        pure = _emit_pure(instr)
+        if pure is not None:
+            return _Emitted(pure, cost)
+        if op == 'addi':                         # SP destination
+            if not (_is_reg(b) and _is_imm(c)):
+                return None
+            return _Emitted([
+                '_i = %d' % index,
+                '_v = r[%d] + %d' % (b, c),
+                'r[%d] = _v' % a,
+                'if _v < _stk:',
+                "    raise _SimFault(_FK.STACK_OVERFLOW,"
+                " 'sp=%d' % _v)",
+            ], cost, risky=True)
+        if op in ('div', 'mod'):
+            if not (_is_reg(a) and _is_reg(b) and _is_reg(c)):
+                return None
+            lines = [
+                '_i = %d' % index,
+                '_d = r[%d]' % c,
+                'if _d == 0:',
+                "    raise _SimFault(_FK.DIV_ZERO, 'pc=%d')" % pc,
+                '_n = r[%d]' % b,
+            ]
+            if op == 'div':
+                lines += ['_q = abs(_n) // abs(_d)',
+                          'if (_n < 0) != (_d < 0):',
+                          '    _q = -_q',
+                          'r[%d] = _q' % a]
+            else:
+                lines += ['_m = abs(_n) % abs(_d)',
+                          'r[%d] = -_m if _n < 0 else _m' % a]
+            return _Emitted(lines, cost, risky=True)
+        if op == 'ld':
+            if not (_is_reg(a) and _is_reg(b) and _is_imm(c)):
+                return None
+            lines = ['_i = %d' % index,
+                     '_a = r[%d] + %d' % (b, c)]
+            lines.extend(self._read_lines())
+            lines.append('r[%d] = _v' % a)
+            static = cost
+            cy = False
+            if self.has_cache:
+                lines.append(
+                    '_cy += _cache.access(_a, False, _cv).cycles')
+                cy = True
+            else:
+                static += self.l1_hit
+            if self.has_det:
+                lines.append('core.pc = %d' % pc)
+                lines.append('_cy += _dl(_a, _v, _interp)')
+                cy = True
+            return _Emitted(lines, static, risky=True, cy=cy,
+                            cache=self.has_cache)
+        if op == 'st':
+            if not (_is_reg(a) and _is_reg(b) and _is_imm(c)):
+                return None
+            lines = ['_i = %d' % index,
+                     '_a = r[%d] + %d' % (b, c),
+                     '_v = r[%d]' % a,
+                     '_interp.store_count += 1']
+            static = cost
+            cy = False
+            if self.has_cache:
+                # The store's own cache latency is committed only once
+                # the write succeeds (the reference discards it when
+                # memory.write faults), but the cache state mutation
+                # and store_count survive -- exactly as in step().
+                lines.append('_t = _cache.access(_a, True, _cv).cycles')
+                lines.append('_wr(_a, _v)')
+                lines.append('_cy += _t')
+                cy = True
+            else:
+                lines.append('_wr(_a, _v)')
+                static += self.l1_hit
+            if self.has_det:
+                lines.append('core.pc = %d' % pc)
+                lines.append('_cy += _ds(_a, _v, _interp)')
+                cy = True
+            return _Emitted(lines, static, risky=True, cy=cy,
+                            cache=self.has_cache)
+        if op == 'push':
+            if not _is_reg(a):
+                return None
+            return _Emitted([
+                '_i = %d' % index,
+                '_s = r[%d] - 1' % _SP,
+                'if _s < _stk:',
+                "    raise _SimFault(_FK.STACK_OVERFLOW,"
+                " 'sp=%d' % _s)",
+                'r[%d] = _s' % _SP,
+                '_wr(_s, r[%d])' % a,
+            ], cost, risky=True)
+        if op == 'pop':
+            if not _is_reg(a):
+                return None
+            lines = ['_i = %d' % index,
+                     '_a = r[%d]' % _SP]
+            lines.extend(self._read_lines())
+            lines.append('r[%d] = _v' % a)
+            lines.append('r[%d] = _a + 1' % _SP)
+            return _Emitted(lines, cost, risky=True)
+        if op == 'assert' and not self.has_det:
+            # Without a detector an assert is semantically a costed nop.
+            return _Emitted([], cost)
+        return None
+
+
+# ======================================================================
+
+
+class FastInterpreter(Interpreter):
+    """Drop-in replacement for :class:`Interpreter` (same contract)."""
+
+    __slots__ = ('_n', '_ops', '_fast', '_ref_thunk',
+                 'block_compile_failed', 'block_count')
+
+    def __init__(self, program, memory, allocator, core, io, costs,
+                 cache=None, detector=None, on_branch=None):
+        super().__init__(program, memory, allocator, core, io, costs,
+                         cache=cache, detector=detector,
+                         on_branch=on_branch)
+        self._n = len(self.code)
+        # Lazily filled: decoding every address eagerly would penalise
+        # short-lived interpreters (one is built per NT-path in the
+        # detailed CMP engine).
+        self._ops = [None] * self._n
+        self._fast = None
+        self._ref_thunk = None
+        self.block_compile_failed = False
+        self.block_count = 0
+
+    # ------------------------------------------------------------------
+    # dispatch
+
+    def step(self):
+        """Execute one instruction through the predecoded table."""
+        pc = self.core.pc
+        if 0 <= pc < self._n:
+            fn = self._ops[pc]
+            if fn is None:
+                fn = self._decode(pc)
+            return fn()
+        # Out-of-range (including the reference backend's negative-PC
+        # indexing quirk): defer to the fully general implementation.
+        return Interpreter.step(self)
+
+    def step_fast(self):
+        """Execute one fused basic block (or one instruction).
+
+        Only valid outside NT-paths: the sandbox must observe every
+        instruction (store-overflow/unsafe events, length budgets), so
+        NT execution degrades to per-instruction ``step`` -- which is
+        what the engines call there anyway.
+        """
+        if self.in_nt_path:
+            return self.step()
+        pc = self.core.pc
+        fast = self._fast
+        if fast is None:
+            fast = self._build_fast_table()
+        if 0 <= pc < self._n:
+            fn = fast[pc]
+            if fn is None:
+                fn = self._decode_fast(pc)
+            return fn()
+        return Interpreter.step(self)
+
+    # ------------------------------------------------------------------
+    # predecode
+
+    def _decode(self, pc):
+        instr = self.code[pc]
+        fn = None
+        factory = _dec_predicated if instr.pred \
+            else _DECODERS.get(instr.op)
+        if factory is not None:
+            try:
+                fn = factory(self, pc, instr, self._cost[instr.op])
+            except Exception:
+                fn = None
+        if fn is None:
+            # Unspecialized / undecodable: the inherited reference
+            # step handles it with full generality.
+            fn = self._ref_thunk
+            if fn is None:
+                interp = self
+                ref_step = Interpreter.step
+
+                def fn():
+                    return ref_step(interp)
+                self._ref_thunk = fn
+        self._ops[pc] = fn
+        return fn
+
+    def _decode_fast(self, pc):
+        fn = self._ops[pc]
+        if fn is None:
+            fn = self._decode(pc)
+        self._fast[pc] = fn
+        return fn
+
+    def _step_at(self, pc):
+        """Budget fallback used by fused blocks: execute exactly one
+        instruction at ``pc`` through the per-instruction table."""
+        fn = self._ops[pc]
+        if fn is None:
+            fn = self._decode(pc)
+        return fn()
+
+    # ------------------------------------------------------------------
+    # basic-block closure compilation
+
+    def _block_ops(self):
+        ops = BLOCK_OPS
+        if self.detector is None:
+            ops = ops | frozenset({'assert'})
+        return ops
+
+    def _build_fast_table(self):
+        fast = [None] * self._n
+        self._fast = fast
+        compiler = _BlockCompiler(self)
+        ops = self._block_ops()
+        sources = []
+        entries = []
+        extras = {}
+        for leader in sorted(block_leaders(self.program, ops)):
+            count, terminator = fuseable_run(self.code, leader, ops)
+            weight = count + (1 if terminator is not None else 0)
+            if weight < 2:
+                continue
+            try:
+                compiled = compiler.compile(leader, count, terminator)
+            except Exception:
+                compiled = None
+            if compiled is None:
+                continue
+            name, src, extra = compiled
+            sources.append(src)
+            entries.append((leader, name))
+            extras.update(extra)
+        if not sources:
+            return fast
+        namespace = {
+            '_core': self.core,
+            '_interp': self,
+            '_fb': self._step_at,
+            '_SimFault': SimFault,
+            '_FK': FaultKind,
+            '_stk': self.memory.stack_limit,
+            '_rd': self.memory.read,
+            '_wr': self.memory.write,
+        }
+        if compiler.inline_read:
+            namespace['_cells'] = self.memory.cells
+            namespace['_msize'] = self.memory.size
+        if self.detector is not None:
+            namespace['_dl'] = self.detector.on_load
+            namespace['_ds'] = self.detector.on_store
+        namespace.update(extras)
+        try:
+            exec(compile('\n'.join(sources),
+                         '<fastblocks:%s>' % self.program.name,
+                         'exec'), namespace)
+            for leader, name in entries:
+                fast[leader] = namespace[name]
+            self.block_count = len(entries)
+        except Exception:
+            # Automatic fallback: run on predecoded dispatch only.
+            self.block_compile_failed = True
+            self._fast = fast = [None] * self._n
+        return fast

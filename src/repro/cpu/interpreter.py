@@ -19,13 +19,29 @@ termination raises :class:`~repro.cpu.exceptions.ProgramExit`.
 from __future__ import annotations
 
 from repro.cpu.exceptions import FaultKind, ProgramExit, SimFault
+from repro.cpu.timing import PREDICATED_SKIP_COST
 from repro.isa.instructions import Reg, Syscall
 
 _SHIFT_MASK = 63
 
+# Effectively "no limit"; engines lower it to config.max_instructions.
+NO_INSTRET_LIMIT = 1 << 62
+
 
 class Interpreter:
-    """Executes a :class:`~repro.isa.program.Program` on a core."""
+    """Executes a :class:`~repro.isa.program.Program` on a core.
+
+    This is the *reference* backend: one fully general dispatch per
+    instruction.  :class:`~repro.cpu.fastinterp.FastInterpreter`
+    subclasses it with a predecoded dispatch table and basic-block
+    closures; the two must stay semantically identical (see DESIGN.md,
+    "Dual-backend equivalence invariant").
+    """
+
+    __slots__ = ('program', 'code', 'memory', 'allocator', 'core', 'io',
+                 'costs', 'cache', 'detector', 'on_branch', 'in_nt_path',
+                 'cache_version', 'store_count', 'sandbox_unsafe',
+                 '_cost', 'instret_limit')
 
     def __init__(self, program, memory, allocator, core, io, costs,
                  cache=None, detector=None, on_branch=None):
@@ -46,6 +62,13 @@ class Interpreter:
         # syscalls execute speculatively inside NT-paths; the engine
         # rolls the I/O context back at squash.
         self.sandbox_unsafe = False
+        # Dense per-opcode cost table: a plain dict index on the hot
+        # path instead of a CostModel.cost() call per instruction.
+        self._cost = costs.table()
+        # Instruction budget honoured by the fast backend's fused
+        # blocks; the reference backend steps singly, so its engine
+        # loop enforces the budget between steps instead.
+        self.instret_limit = NO_INSTRET_LIMIT
 
     # ------------------------------------------------------------------
 
@@ -61,14 +84,14 @@ class Interpreter:
         if instr.pred:
             if not core.pred:
                 core.pc = pc + 1
-                core.cycles += 1
+                core.cycles += PREDICATED_SKIP_COST
                 core.instret += 1
                 return None
         elif core.pred:
             core.pred = False
 
         regs = core.regs
-        cost = self.costs.cost(op)
+        cost = self._cost[op]
         event = None
 
         if op == 'ld':
@@ -237,6 +260,11 @@ class Interpreter:
         core.cycles += cost
         core.instret += 1
         return event
+
+    # The engines' main loops call ``step_fast``; the fast backend
+    # overrides it with basic-block dispatch, the reference backend
+    # steps one instruction at a time.
+    step_fast = step
 
     # ------------------------------------------------------------------
 

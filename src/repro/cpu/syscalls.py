@@ -17,6 +17,9 @@ class IOContext:
         int_input: integers consumed by the READ_INT syscall.
     """
 
+    __slots__ = ('text_input', 'int_input', '_text_pos', '_int_pos',
+                 'output', 'int_output', 'syscall_count')
+
     def __init__(self, text_input='', int_input=None):
         self.text_input = text_input
         self.int_input = list(int_input or [])

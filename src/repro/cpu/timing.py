@@ -19,6 +19,21 @@ Table 2 parameters carried over directly:
 
 from __future__ import annotations
 
+from repro.isa.instructions import ALL_OPS
+
+# Cost of a *skipped* predicated instruction (Section 4.4).
+#
+# Intended model, shared by both execution backends: a predicated
+# instruction whose predicate is false still occupies one issue slot --
+# it is squashed in the front end before it reads operands or reaches a
+# functional unit, so it retires as a single-cycle NOP *regardless of
+# the skipped opcode's nominal cost*.  The compiler only predicates the
+# variable-fixing instructions (cheap moves/loads); charging the full
+# opcode cost for a skipped `div` or `ld` would overstate the taken
+# path's NT-entry overhead, and charging zero would hide the fetch
+# bandwidth the fix instructions consume on every pass over the branch.
+PREDICATED_SKIP_COST = 1
+
 DEFAULT_OP_COSTS = {
     'mul': 3,
     'div': 12,
@@ -51,6 +66,16 @@ class CostModel:
 
     def cost(self, op):
         return self._costs.get(op, self.default_cost)
+
+    def table(self):
+        """A complete per-opcode cost dict (no misses possible).
+
+        Both backends hoist this into their hot loops so per-step cost
+        lookup is a plain dict index instead of a method call.
+        """
+        table = {op: self.default_cost for op in ALL_OPS}
+        table.update(self._costs)
+        return table
 
     def memory_latency(self, l1_hit):
         """Latency of one data access given the L1 outcome.

@@ -46,6 +46,11 @@ class AccessResult:
 class Cache:
     """One level of set-associative cache."""
 
+    __slots__ = ('line_words', 'num_lines', 'num_sets', 'ways',
+                 'hit_latency', 'miss_latency', '_sets', '_tick',
+                 'hits', 'misses', '_hit_result',
+                 '_last_tag', '_last_line')
+
     def __init__(self, size_bytes=16384, ways=4, line_bytes=32,
                  hit_latency=3, miss_latency=10, word_bytes=4):
         self.line_words = line_bytes // word_bytes
@@ -58,6 +63,16 @@ class Cache:
         self._tick = 0
         self.hits = 0
         self.misses = 0
+        # Hits dominate and their result fields never vary, so one
+        # preallocated result serves them all (callers treat results as
+        # read-only).
+        self._hit_result = AccessResult(hit_latency, True)
+        # Last-line memo.  Only an *exact* version match may use it: a
+        # version-v line is always inserted before a committed line of
+        # the same tag can appear, so exact match coincides with the
+        # first-match scan below and the memo cannot change behaviour.
+        self._last_tag = -1
+        self._last_line = None
 
     def _locate(self, addr):
         line_no = addr // self.line_words
@@ -65,19 +80,33 @@ class Cache:
 
     def access(self, addr, is_write, version=COMMITTED):
         """Simulate one access; returns an :class:`AccessResult`."""
-        self._tick += 1
-        lines, tag = self._locate(addr)
+        tick = self._tick + 1
+        self._tick = tick
+        line_no = addr // self.line_words
+        line = self._last_line
+        if line is not None and self._last_tag == line_no \
+                and line.version == version:
+            if is_write:
+                line.dirty = True
+            line.lru = tick
+            self.hits += 1
+            return self._hit_result
+        lines = self._sets[line_no % self.num_sets]
+        tag = line_no
         for line in lines:
-            if line.tag == tag and line.version in (version, COMMITTED):
+            if line.tag == tag and (line.version == version
+                                    or line.version == COMMITTED):
                 # A committed line written by a speculative path takes
                 # on that path's version (copy-on-write at line level).
                 if is_write:
                     line.dirty = True
                     if version != COMMITTED:
                         line.version = version
-                line.lru = self._tick
+                line.lru = tick
                 self.hits += 1
-                return AccessResult(self.hit_latency, True)
+                self._last_tag = tag
+                self._last_line = line
+                return self._hit_result
         # miss: allocate
         self.misses += 1
         overflow = False
@@ -93,8 +122,13 @@ class Cache:
             if victim.dirty:
                 displaced_dirty = victim.version
             lines.remove(victim)
-        lines.append(CacheLine(tag, version if is_write else COMMITTED,
-                               is_write, self._tick))
+            if victim is self._last_line:
+                self._last_line = None
+        line = CacheLine(tag, version if is_write else COMMITTED,
+                         is_write, self._tick)
+        lines.append(line)
+        self._last_tag = tag
+        self._last_line = line
         return AccessResult(self.miss_latency, False,
                             volatile_overflow=overflow,
                             displaced_dirty=displaced_dirty)
@@ -106,6 +140,7 @@ class Cache:
             keep = [line for line in lines if line.version != version]
             dropped += len(lines) - len(keep)
             lines[:] = keep
+        self._last_line = None
         return dropped
 
     def commit_version(self, version):
@@ -116,6 +151,7 @@ class Cache:
                 if line.version == version:
                     line.version = COMMITTED
                     changed += 1
+        self._last_line = None
         return changed
 
     def volatile_lines(self, version=None):
@@ -132,3 +168,5 @@ class Cache:
         self._tick = 0
         self.hits = 0
         self.misses = 0
+        self._last_tag = -1
+        self._last_line = None

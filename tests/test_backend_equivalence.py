@@ -1,0 +1,82 @@
+"""Differential harness: the fast backend must be undetectable.
+
+Every registered application runs in all four modes, under every
+detector the app supports (plus detector-free), on both execution
+backends -- and the two :meth:`RunResult.to_dict` payloads must be
+byte-identical.  That covers cycles, instret, coverage sets, NT-path
+accounting, detector reports, program output and crash state at once.
+
+Runs are capped with ``max_instructions``, which doubles as a test of
+the truncation contract: a fused block refuses to overshoot the budget,
+so both backends must stop at exactly the same instruction.  A separate
+uncapped test checks natural program exit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.registry import ALL_APPS, get_app
+from repro.core.config import Mode
+from repro.core.runner import make_detector, run_program
+
+# Large enough to reach steady state (and NT-path spawning) in every
+# app, small enough to keep the full matrix fast.
+_INSTR_CAP = 25_000
+
+_PROGRAMS = {}
+
+
+def _program(name):
+    if name not in _PROGRAMS:
+        _PROGRAMS[name] = get_app(name).compile()
+    return _PROGRAMS[name]
+
+
+def _run(app, program, mode, detector_name, backend, **overrides):
+    text, ints = app.default_input()
+    config = app.make_config(mode, backend=backend, **overrides)
+    result = run_program(program, detector=make_detector(detector_name),
+                         config=config, text_input=text, int_input=ints)
+    return result.to_dict()
+
+
+@pytest.mark.parametrize('mode', Mode.ALL)
+@pytest.mark.parametrize('app_name', sorted(ALL_APPS))
+def test_backends_agree(app_name, mode):
+    app = get_app(app_name)
+    program = _program(app_name)
+    for detector_name in ('none',) + tuple(app.tools):
+        reference = _run(app, program, mode, detector_name, 'reference',
+                         max_instructions=_INSTR_CAP)
+        fast = _run(app, program, mode, detector_name, 'fast',
+                    max_instructions=_INSTR_CAP)
+        assert fast == reference, (app_name, mode, detector_name)
+
+
+@pytest.mark.parametrize('mode', Mode.ALL)
+def test_backends_agree_uncapped(mode):
+    """Natural program exit (no truncation) on a small app."""
+    app = get_app('schedule')
+    program = _program('schedule')
+    for detector_name in ('none',) + tuple(app.tools):
+        reference = _run(app, program, mode, detector_name, 'reference')
+        fast = _run(app, program, mode, detector_name, 'fast')
+        assert fast == reference, (mode, detector_name)
+
+
+def test_capped_matrix_exercises_truncation():
+    """The cap actually bites on the big workloads, so the matrix above
+    really does compare truncation points."""
+    app = get_app('vpr_app')
+    data = _run(app, _program('vpr_app'), Mode.BASELINE, 'none', 'fast',
+                max_instructions=_INSTR_CAP)
+    assert data['truncated']
+
+
+def test_capped_matrix_exercises_nt_paths():
+    """...and NT-paths spawn inside the capped window."""
+    app = get_app('schedule')
+    data = _run(app, _program('schedule'), Mode.STANDARD, 'none', 'fast',
+                max_instructions=_INSTR_CAP)
+    assert data['nt_spawned'] > 0

@@ -109,3 +109,24 @@ class TestDifferentialFuzz:
         # The detailed engine may skip spawns only through the
         # outstanding-path cap; with a high cap, covered edges match.
         assert detailed.covered_edges == standard.covered_edges
+
+
+class TestBackendFuzz:
+    """Property form of the dual-backend equivalence invariant
+    (DESIGN.md): for random programs, the fast backend's RunResult is
+    byte-identical to the reference backend's in every mode."""
+
+    @_SETTINGS
+    @given(_PROGRAM, st.integers(0, 100), st.integers(0, 100))
+    def test_backends_identical_in_every_mode(self, source, a, b):
+        program = compile_minic(source, name='fuzz_backend')
+        for mode in Mode.ALL:
+            payloads = {}
+            for backend in ('reference', 'fast'):
+                result = run_program(
+                    program, detector='ccured',
+                    config=PathExpanderConfig(mode=mode,
+                                              backend=backend),
+                    int_input=[a, b])
+                payloads[backend] = result.to_dict()
+            assert payloads['fast'] == payloads['reference'], mode

@@ -1,0 +1,321 @@
+"""Unit tests for the fast execution backend's machinery.
+
+The system-level guarantee (byte-identical results on real apps) lives
+in ``test_backend_equivalence.py``; this file pins down the individual
+mechanisms: predecode coverage, block fusion, budget-aware truncation,
+mid-block fault flushing, predicated handling, the out-of-range-PC
+quirk, and every fallback path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (BACKEND_CHOICES, PathExpanderConfig,
+                               default_backend, set_default_backend)
+from repro.core.engine import PathExpanderEngine
+from repro.core.runner import run_program
+import repro.cpu.backend as backend_mod
+from repro.cpu.backend import make_interpreter
+from repro.cpu.fastinterp import FastInterpreter, _BlockCompiler
+from repro.cpu.interpreter import Interpreter
+from repro.isa.cfg import (BLOCK_OPS, FUSEABLE_OPS, TERMINATOR_OPS,
+                           block_leaders, fuseable_run)
+from repro.isa.instructions import Instr, Reg, Syscall
+from repro.isa.program import Program
+
+
+def _prog(code, functions=None, entry=0, globals_size=64):
+    return Program(list(code), functions or {'main': 0}, entry,
+                   globals_size, name='unit')
+
+
+def _run_both(program, mode='baseline', detector='none', **overrides):
+    results = {}
+    for backend in BACKEND_CHOICES:
+        config = PathExpanderConfig(mode=mode, backend=backend,
+                                    **overrides)
+        results[backend] = run_program(program, detector=detector,
+                                       config=config).to_dict()
+    assert results['fast'] == results['reference']
+    return results['reference']
+
+
+def _engine(program, mode='baseline', **overrides):
+    config = PathExpanderConfig(mode=mode, backend='fast', **overrides)
+    return PathExpanderEngine(program, config=config)
+
+
+def _alu_block_program(pad=6):
+    """li/alu/cmp straight line, then print the result and halt."""
+    code = [Instr('li', 3, 10), Instr('li', 4, 3)]
+    for _ in range(pad):
+        code += [Instr('add', 3, 3, 4), Instr('xor', 4, 4, 3),
+                 Instr('slt', 5, 4, 3)]
+    code += [Instr('mov', Reg.A1, 3),
+             Instr('syscall', Syscall.PRINT_INT),
+             Instr('halt')]
+    return _prog(code)
+
+
+class TestOpcodeClosures:
+    def test_alu_cmp_shift_semantics(self):
+        # Operands live in high registers so the A1 moves for printing
+        # cannot clobber them.
+        code = [Instr('li', 10, -7), Instr('li', 11, 3)]
+        for op in ('add', 'sub', 'mul', 'and', 'or', 'xor',
+                   'shl', 'shr', 'slt', 'sle', 'seq', 'sne',
+                   'sgt', 'sge', 'div', 'mod'):
+            code.append(Instr(op, 12, 10, 11))
+            code.append(Instr('mov', Reg.A1, 12))
+            code.append(Instr('syscall', Syscall.PRINT_INT))
+        code.append(Instr('halt'))
+        data = _run_both(_prog(code))
+        assert data['int_output'][:3] == [-4, -10, -21]
+
+    def test_memory_stack_and_calls(self):
+        fn = 9
+        code = [
+            Instr('li', 1, 20),
+            Instr('st', 1, 0, 16),          # globals base
+            Instr('ld', 2, 0, 16),
+            Instr('push', 2),
+            Instr('call', fn, 'double'),
+            Instr('pop', 3),
+            Instr('mov', Reg.A1, Reg.RV),
+            Instr('syscall', Syscall.PRINT_INT),
+            Instr('halt'),
+            # double(top of stack) -> RV
+            Instr('ld', 4, Reg.SP, 1),      # arg above return address
+            Instr('add', Reg.RV, 4, 4),
+            Instr('ret'),
+        ]
+        data = _run_both(_prog(code, functions={'main': 0,
+                                                'double': fn}))
+        assert data['int_output'] == [40]
+        assert data['exit_code'] == 0
+
+    def test_division_semantics_match(self):
+        # Truncation toward zero for negative operands, in and out of
+        # fused blocks.
+        for dividend, divisor in [(-7, 2), (7, -2), (-7, -2), (7, 2)]:
+            code = [Instr('li', 1, dividend), Instr('li', 2, divisor),
+                    Instr('div', 3, 1, 2), Instr('mod', 4, 1, 2),
+                    Instr('mov', Reg.A1, 3),
+                    Instr('syscall', Syscall.PRINT_INT),
+                    Instr('mov', Reg.A1, 4),
+                    Instr('syscall', Syscall.PRINT_INT),
+                    Instr('halt')]
+            data = _run_both(_prog(code))
+            quotient, remainder = data['int_output']
+            assert quotient * divisor + remainder == dividend
+
+
+class TestBlockFusion:
+    def test_blocks_are_compiled_and_used(self):
+        engine = _engine(_alu_block_program())
+        engine.run()
+        interp = engine.interp
+        assert isinstance(interp, FastInterpreter)
+        assert interp.block_count > 0
+        assert not interp.block_compile_failed
+
+    def test_fused_run_identical_to_reference(self):
+        _run_both(_alu_block_program())
+
+    def test_truncation_mid_block(self):
+        # The budget lands strictly inside the fused block: the block
+        # must refuse to run and fall back to single stepping so both
+        # backends truncate on the same instruction.
+        for limit in (3, 7, 10):
+            data = _run_both(_alu_block_program(pad=8),
+                             max_instructions=limit)
+            assert data['truncated']
+            assert data['instret_taken'] == limit
+
+    def test_mid_block_fault_flushes_partial_state(self):
+        # div-by-zero after several fused instructions: cycles/instret
+        # of the completed prefix must be retired and pc parked on the
+        # faulting instruction, exactly as the reference does.
+        code = [Instr('li', 1, 5), Instr('li', 2, 0)]
+        code += [Instr('add', 1, 1, 1)] * 4
+        code += [Instr('div', 3, 1, 2), Instr('halt')]
+        data = _run_both(_prog(code))
+        assert data['crashed']
+        assert data['crash_kind'] == 'div_zero'
+
+    def test_mid_block_memory_fault(self):
+        # A wild load inside a fused block (NULL page).
+        code = [Instr('li', 1, 2), Instr('add', 1, 1, 1),
+                Instr('ld', 2, 1, 0), Instr('halt')]
+        data = _run_both(_prog(code))
+        assert data['crashed']
+        assert data['crash_kind'] == 'null_access'
+
+    def test_block_compile_failure_falls_back(self, monkeypatch):
+        def bad_compile(self, leader, count, terminator):
+            return '_bad%d' % leader, 'def _bad%d(:\n' % leader, {}
+        monkeypatch.setattr(_BlockCompiler, 'compile', bad_compile)
+        engine = _engine(_alu_block_program())
+        result = engine.run()
+        assert engine.interp.block_compile_failed
+        assert engine.interp.block_count == 0
+        assert result.int_output  # still ran, on predecoded dispatch
+
+    def test_assert_fused_only_without_detector(self):
+        code = [Instr('li', 1, 1), Instr('li', 2, 2),
+                Instr('assert', 1, 'a0'), Instr('add', 3, 1, 2),
+                Instr('halt')]
+        program = _prog(code)
+        _run_both(program)
+        _run_both(program, mode='baseline', detector='assertions')
+
+
+class TestDispatchEdges:
+    def test_predicated_instructions_skip(self):
+        code = [Instr('li', 1, 1),
+                Instr('li', 1, 99, pred=True),   # pred clear: a skip
+                Instr('mov', Reg.A1, 1),
+                Instr('syscall', Syscall.PRINT_INT),
+                Instr('halt')]
+        data = _run_both(_prog(code))
+        assert data['int_output'] == [1]
+
+    def test_predicated_execution_in_nt_entry(self):
+        # Variable fixing sets the predicate at NT-path entry, so the
+        # predicated leader actually executes there (reference
+        # fallback); spawning must agree across backends.
+        code = [Instr('li', 1, 4),
+                Instr('li', 2, 0),
+                # loop: branch is taken until r2 counts down
+                Instr('li', 3, 1, pred=True),
+                Instr('addi', 2, 2, 1),
+                Instr('slt', 4, 2, 1),
+                Instr('br', 4, 2),
+                Instr('halt')]
+        data = _run_both(_prog(code), mode='standard',
+                         max_nt_path_length=16)
+        assert data['nt_spawned'] > 0
+
+    def test_negative_pc_quirk_matches_reference(self):
+        # jmp -1 indexes code[-1] in the reference backend (Python
+        # negative indexing); the fast backend must reproduce that.
+        code = [Instr('jmp', -1), Instr('li', 1, 3), Instr('halt')]
+        data = _run_both(_prog(code))
+        assert data['exit_code'] == 0
+        assert not data['crashed']
+
+    def test_malloc_free_take_reference_fallback(self):
+        code = [Instr('li', 1, 4),
+                Instr('malloc', 2, 1),
+                Instr('li', 3, 7),
+                Instr('st', 3, 2, 0),
+                Instr('ld', Reg.A1, 2, 0),
+                Instr('syscall', Syscall.PRINT_INT),
+                Instr('free', 2),
+                Instr('halt')]
+        data = _run_both(_prog(code))
+        assert data['int_output'] == [7]
+
+    def test_syscall_exit_code(self):
+        code = [Instr('li', Reg.A1, 42),
+                Instr('syscall', Syscall.EXIT),
+                Instr('halt')]
+        data = _run_both(_prog(code))
+        assert data['exit_code'] == 42
+
+
+class TestCfgHelpers:
+    def test_fuseable_run_stops_at_memory_op_in_pure_tier(self):
+        code = [Instr('add', 1, 1, 2), Instr('ld', 3, 1, 0),
+                Instr('halt')]
+        count, terminator = fuseable_run(code, 0, FUSEABLE_OPS)
+        assert count == 1 and terminator is None
+        count, terminator = fuseable_run(code, 0, BLOCK_OPS)
+        assert count == 2 and terminator is None
+
+    def test_fuseable_run_absorbs_terminator(self):
+        code = [Instr('add', 1, 1, 2), Instr('br', 1, 0),
+                Instr('halt')]
+        count, terminator = fuseable_run(code, 0, BLOCK_OPS)
+        assert count == 1
+        assert terminator is code[1]
+        assert terminator.op in TERMINATOR_OPS
+
+    def test_predicated_instr_continues_run(self):
+        code = [Instr('add', 1, 1, 2),
+                Instr('call', 5, 'f', pred=True),
+                Instr('add', 1, 1, 2), Instr('halt')]
+        count, _ = fuseable_run(code, 0, BLOCK_OPS)
+        assert count == 3
+
+    def test_block_leaders_include_targets_and_successors(self):
+        code = [Instr('add', 1, 1, 2),    # 0: entry
+                Instr('br', 1, 0),        # 1: -> {0, 2}
+                Instr('call', 4, 'f'),    # 2: -> {4, 3}
+                Instr('halt'),            # 3
+                Instr('ret')]             # 4: 'f'
+        program = _prog(code, functions={'main': 0, 'f': 4})
+        leaders = block_leaders(program, BLOCK_OPS)
+        assert {0, 2, 3, 4}.issubset(leaders)
+        assert all(0 <= addr < len(code) for addr in leaders)
+
+
+class TestBackendSelection:
+    def test_engine_honours_backend_config(self):
+        program = _alu_block_program()
+        engine = PathExpanderEngine(
+            program, config=PathExpanderConfig(backend='reference'))
+        assert type(engine.interp) is Interpreter
+        engine = PathExpanderEngine(
+            program, config=PathExpanderConfig(backend='fast'))
+        assert isinstance(engine.interp, FastInterpreter)
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            PathExpanderConfig(backend='jit')
+
+    def test_make_interpreter_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            make_interpreter('jit', *([None] * 6))
+
+    def test_replace_preserves_backend(self):
+        config = PathExpanderConfig(backend='reference')
+        assert config.replace(mode='cmp').backend == 'reference'
+
+    def test_default_backend_resolution(self, monkeypatch):
+        monkeypatch.delenv('REPRO_BACKEND', raising=False)
+        assert default_backend() == 'fast'
+        assert PathExpanderConfig().resolved_backend == 'fast'
+        monkeypatch.setenv('REPRO_BACKEND', 'reference')
+        assert default_backend() == 'reference'
+        # explicit config wins over the environment
+        assert PathExpanderConfig(backend='fast').resolved_backend \
+            == 'fast'
+        monkeypatch.setenv('REPRO_BACKEND', 'bogus')
+        with pytest.raises(ValueError):
+            default_backend()
+
+    def test_set_default_backend_overrides_env(self, monkeypatch):
+        monkeypatch.setenv('REPRO_BACKEND', 'reference')
+        set_default_backend('fast')
+        try:
+            assert default_backend() == 'fast'
+        finally:
+            set_default_backend(None)
+        assert default_backend() == 'reference'
+        with pytest.raises(ValueError):
+            set_default_backend('bogus')
+
+    def test_construction_failure_falls_back_to_reference(
+            self, monkeypatch):
+        class Exploding(FastInterpreter):
+            def __init__(self, *args, **kwargs):
+                raise RuntimeError('boom')
+        monkeypatch.setitem(backend_mod._CLASSES, 'fast', Exploding)
+        program = _alu_block_program()
+        config = PathExpanderConfig(backend='fast')
+        engine = PathExpanderEngine(program, config=config)
+        assert type(engine.interp) is Interpreter
+        result = engine.run()
+        assert result.exit_code == 0
