@@ -1,26 +1,34 @@
 """Interpreter throughput: reference vs. fast execution backend.
 
-Two synthetic kernels bound the backends' throughput (MIPS):
+Three synthetic kernels bound the backends' throughput (MIPS):
 
 * ``alu_baseline`` -- a detector-free, cache-light ALU loop in baseline
   mode.  Its body is one straight-line run, so the fast backend fuses
   it into a single closure: this measures the best-case dispatch win.
 * ``mem_monitored`` -- a load/store loop with data-dependent branches,
-  run in standard mode under CCured with NT-path spawning enabled.
-  NT-paths step per instruction in both backends, so this measures the
-  realistic monitored-run win.
+  run in standard mode under CCured with NT-path spawning enabled:
+  the realistic monitored-run win.
+* ``nt_heavy`` -- a never-taken branch whose non-taken side exhausts
+  the whole NT-path length budget, spawned at nearly every encounter.
+  Wall time is dominated by sandboxed NT-path execution, so this
+  measures the sandboxed block tables in isolation.
 
-Both kernels are also differential tests: the run must produce a
+Each scenario row records a taken-vs-NT split (instructions and, per
+backend, wall seconds spent inside NT-paths).
+
+All kernels are also differential tests: the run must produce a
 byte-identical :class:`RunResult` on both backends before a timing is
 accepted.
 
 Run standalone (CI perf-smoke does) to write ``BENCH_interp.json``::
 
     PYTHONPATH=src python benchmarks/bench_interp_throughput.py \
-        --json BENCH_interp.json --check-ratio 2.0
+        --json BENCH_interp.json --check-ratio 2.0 \
+        --check-scenario mem_monitored=2.0 --check-scenario nt_heavy=2.0
 
 ``--check-ratio R`` exits non-zero if the fast backend is below R x
-reference on the ``alu_baseline`` kernel.
+reference on the ``alu_baseline`` kernel; ``--check-scenario NAME=R``
+(repeatable) applies the same gate to any scenario.
 """
 
 from __future__ import annotations
@@ -37,7 +45,8 @@ if __package__ is None and __name__ == '__main__':
         'src'))
 
 from repro.core.config import PathExpanderConfig
-from repro.core.runner import make_detector, run_program
+from repro.core.engine import PathExpanderEngine
+from repro.core.runner import make_detector
 from repro.isa.instructions import Instr
 from repro.isa.program import Program
 
@@ -96,6 +105,40 @@ def build_mem_kernel(iters=40_000):
     return Program(code, {'main': 0}, 0, 64, name='mem_kernel')
 
 
+def build_nt_heavy_kernel(iters=1500):
+    """An NT-path-bound kernel: a cheap taken-path loop around a
+    never-taken branch whose non-taken side is a load/store loop long
+    enough to exhaust the whole NT-path length budget.  With a short
+    counter-reset interval nearly every encounter spawns, so wall time
+    is dominated by sandboxed NT-path execution."""
+    code = []
+    emit = code.append
+    emit(Instr('li', 1, 0))            # induction variable
+    emit(Instr('li', 2, iters))        # trip count
+    emit(Instr('li', 3, 16))           # global word address
+    emit(Instr('li', 9, 0))            # always-false branch condition
+    loop = len(code)
+    emit(Instr('addi', 1, 1, 1))
+    emit(Instr('br', 9, len(code) + 4))    # never taken: NT side below
+    emit(Instr('slt', 8, 1, 2))
+    emit(Instr('br', 8, loop))
+    emit(Instr('halt'))
+    # Only ever executed inside the sandbox: a read-modify-write loop
+    # whose trip count exceeds the NT budget, so every path terminates
+    # at the length cap.
+    emit(Instr('li', 4, 0))
+    emit(Instr('li', 5, 200))
+    inner = len(code)
+    emit(Instr('ld', 7, 3, 0))
+    emit(Instr('addi', 7, 7, 1))
+    emit(Instr('st', 7, 3, 0))
+    emit(Instr('addi', 4, 4, 1))
+    emit(Instr('slt', 8, 4, 5))
+    emit(Instr('br', 8, inner))
+    emit(Instr('jmp', loop))
+    return Program(code, {'main': 0}, 0, 64, name='nt_heavy_kernel')
+
+
 SCENARIOS = {
     'alu_baseline': {
         'build': build_alu_kernel,
@@ -112,30 +155,54 @@ SCENARIOS = {
         'overrides': {'max_nt_path_length': 100,
                       'counter_reset_interval': 100_000},
     },
+    'nt_heavy': {
+        'build': build_nt_heavy_kernel,
+        'mode': 'standard',
+        'detector': 'none',
+        # Full-budget NT-paths at nearly every branch encounter: the
+        # reset interval is shorter than one spawned path, so the
+        # selector's counters never stay saturated.
+        'overrides': {'max_nt_path_length': 1000,
+                      'counter_reset_interval': 1500},
+    },
 }
 
 
 def _run_once(program, scenario, backend):
+    """One timed engine run.
+
+    Builds the engine outside the timed region (so block compilation
+    setup costs land inside it, as they do in production runs, but
+    memory-image construction does not) and returns the wall seconds,
+    the serialized result, and the engine's NT-path wall seconds.
+    """
     config = PathExpanderConfig(mode=scenario['mode'], backend=backend,
                                 **scenario['overrides'])
+    engine = PathExpanderEngine(program,
+                                detector=make_detector(
+                                    scenario['detector']),
+                                config=config)
     start = time.perf_counter()
-    result = run_program(program, detector=make_detector(
-        scenario['detector']), config=config)
-    return time.perf_counter() - start, result.to_dict()
+    result = engine.run()
+    elapsed = time.perf_counter() - start
+    return elapsed, result.to_dict(), engine.nt_wall_seconds
 
 
 def measure_scenario(name, scale=1.0, repeats=3):
     scenario = SCENARIOS[name]
     build = scenario['build']
     default_iters = build.__defaults__[0]
-    program = build(max(1000, int(default_iters * scale)))
+    program = build(max(100, int(default_iters * scale)))
     row = {'mode': scenario['mode'], 'detector': scenario['detector']}
     reference_dict = None
+    nt_seconds = {}
     for backend in ('reference', 'fast'):
-        best = None
+        best = best_nt = None
         for _ in range(repeats):
-            seconds, data = _run_once(program, scenario, backend)
-            best = seconds if best is None else min(best, seconds)
+            seconds, data, path_seconds = _run_once(
+                program, scenario, backend)
+            if best is None or seconds < best:
+                best, best_nt = seconds, path_seconds
         if backend == 'reference':
             reference_dict = data
         elif data != reference_dict:
@@ -145,9 +212,22 @@ def measure_scenario(name, scale=1.0, repeats=3):
         instret = data['instret_taken'] + data['instret_nt']
         row[backend] = {'seconds': round(best, 4),
                         'mips': round(instret / best / 1e6, 3)}
-    row['instret'] = (reference_dict['instret_taken']
-                      + reference_dict['instret_nt'])
+        nt_seconds[backend] = best_nt
+    instret_taken = reference_dict['instret_taken']
+    instret_nt = reference_dict['instret_nt']
+    total = instret_taken + instret_nt
+    row['instret'] = total
     row['nt_spawned'] = reference_dict['nt_spawned']
+    # Taken-vs-NT split: how much of the run (instructions and wall
+    # time) each backend spent inside sandboxed NT-paths.
+    row['split'] = {
+        'instret_taken': instret_taken,
+        'instret_nt': instret_nt,
+        'nt_instret_share': round(instret_nt / total, 4) if total
+        else 0.0,
+        'reference_nt_seconds': round(nt_seconds['reference'], 4),
+        'fast_nt_seconds': round(nt_seconds['fast'], 4),
+    }
     row['speedup'] = round(row['reference']['seconds']
                            / row['fast']['seconds'], 3)
     return row
@@ -174,28 +254,45 @@ def main(argv=None):
                         metavar='R',
                         help='fail unless fast >= R x reference on the '
                              'alu_baseline kernel')
+    parser.add_argument('--check-scenario', action='append', default=[],
+                        metavar='NAME=R',
+                        help='fail unless fast >= R x reference on '
+                             'scenario NAME (repeatable)')
     args = parser.parse_args(argv)
+
+    gates = []
+    if args.check_ratio is not None:
+        gates.append(('alu_baseline', args.check_ratio))
+    for spec in args.check_scenario:
+        name, sep, ratio = spec.partition('=')
+        if not sep or name not in SCENARIOS:
+            parser.error('bad --check-scenario %r (want NAME=R with '
+                         'NAME in %s)' % (spec, sorted(SCENARIOS)))
+        gates.append((name, float(ratio)))
 
     payload = measure(scale=args.scale, repeats=args.repeats)
     for name, row in payload['scenarios'].items():
         print('%-14s ref=%6.2f MIPS  fast=%6.2f MIPS  speedup=%.2fx  '
-              'nt_spawned=%d'
+              'nt_spawned=%d  nt_share=%.1f%%'
               % (name, row['reference']['mips'], row['fast']['mips'],
-                 row['speedup'], row['nt_spawned']))
+                 row['speedup'], row['nt_spawned'],
+                 100.0 * row['split']['nt_instret_share']))
     if args.json:
         with open(args.json, 'w') as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write('\n')
         print('wrote', args.json)
-    if args.check_ratio is not None:
-        speedup = payload['scenarios']['alu_baseline']['speedup']
-        if speedup < args.check_ratio:
-            print('FAIL: alu_baseline speedup %.2fx < required %.2fx'
-                  % (speedup, args.check_ratio), file=sys.stderr)
-            return 1
-        print('ratio gate OK: %.2fx >= %.2fx'
-              % (speedup, args.check_ratio))
-    return 0
+    failed = False
+    for name, required in gates:
+        speedup = payload['scenarios'][name]['speedup']
+        if speedup < required:
+            print('FAIL: %s speedup %.2fx < required %.2fx'
+                  % (name, speedup, required), file=sys.stderr)
+            failed = True
+        else:
+            print('ratio gate OK: %s %.2fx >= %.2fx'
+                  % (name, speedup, required))
+    return 1 if failed else 0
 
 
 def test_interp_throughput(benchmark):

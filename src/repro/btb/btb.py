@@ -56,15 +56,42 @@ class BranchTargetBuffer:
             return 0
         return entry.taken_count if taken else entry.nt_count
 
-    def record_edge(self, addr, taken):
-        """Count one execution (or NT-path entry) of an edge."""
-        entry = self._lookup(addr, allocate=True)
+    def observe_edge(self, addr, taken):
+        """Count one execution of an edge and return its entry.
+
+        One lookup serving both the counter bump and the caller's
+        subsequent spawn decision (:meth:`NTPathSelector.consider`).
+        The reference pair ``record_edge`` + ``edge_count`` performed
+        back-to-back lookups of the *same* entry, so collapsing them
+        preserves the relative LRU order of every entry -- and
+        therefore every eviction and every counter value.
+        """
+        # _lookup(allocate=True) inlined: this runs once per retired
+        # taken-path branch.
+        tick = self._tick + 1
+        self._tick = tick
+        entries = self._sets[addr % self.num_sets]
+        for entry in entries:
+            if entry.addr == addr:
+                entry.lru = tick
+                break
+        else:
+            if len(entries) >= self.ways:
+                victim = min(entries, key=lambda e: e.lru)
+                entries.remove(victim)
+                self.evictions += 1
+            entry = _Entry(addr, tick)
+            entries.append(entry)
         if taken:
             if entry.taken_count < COUNTER_MAX:
                 entry.taken_count += 1
-        else:
-            if entry.nt_count < COUNTER_MAX:
-                entry.nt_count += 1
+        elif entry.nt_count < COUNTER_MAX:
+            entry.nt_count += 1
+        return entry
+
+    def record_edge(self, addr, taken):
+        """Count one execution (or NT-path entry) of an edge."""
+        self.observe_edge(addr, taken)
 
     def reset_counters(self):
         for entries in self._sets:

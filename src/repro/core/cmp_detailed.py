@@ -322,31 +322,36 @@ class DetailedCmpEngine:
 
     def _on_primary_branch(self, addr, taken, instr):
         self.result.taken_branch_count += 1
-        self.coverage.record(addr, taken, False)
-        self.btb.record_edge(addr, taken)
-        self.selector.observe_retired(self.primary.instret)
+        self.coverage.record_taken(addr, taken)
+        entry = self.btb.observe_edge(addr, taken)
+        selector = self.selector
+        instret = self.primary.instret
+        # Counter reset must precede the busy check, as in the
+        # reference observe_retired-then-busy ordering.
+        if instret >= selector.next_reset:
+            selector.reset_now(instret)
         self._maybe_force_commit()
+        nt_taken = not taken
         outstanding = len(self._nt_contexts) + len(self._nt_pending)
         if outstanding >= self.config.max_num_nt_paths:
-            if self.selector.btb.edge_count(addr, not taken) \
-                    < self.selector.threshold:
+            count = entry.taken_count if nt_taken else entry.nt_count
+            if count < selector.threshold:
                 self.result.nt_skipped_busy += 1
             return
-        nt_taken = not taken
-        if self.selector.should_spawn(addr, nt_taken):
+        if selector.consider(entry, nt_taken):
             target = instr.b if nt_taken else addr + 1
             self._spawn_nt(addr, nt_taken, target)
 
     def _on_nt_branch(self, interp):
         def hook(addr, taken, _instr):
             self.result.nt_branch_count += 1
-            self.coverage.record(addr, taken, True)
+            self.coverage.record_nt(addr, taken)
         return hook
 
     def _spawn_nt(self, branch_addr, edge_taken, target):
         config = self.config
         self.result.nt_spawned += 1
-        self.coverage.record(branch_addr, edge_taken, True)
+        self.coverage.record_nt(branch_addr, edge_taken)
         self.primary.cycles += config.spawn_overhead
 
         # new taken-path segment whose sibling is this NT-path
@@ -372,8 +377,10 @@ class DetailedCmpEngine:
                                   if config.enable_cache_model else None,
                                   detector=self.detector)
         interp.on_branch = self._on_nt_branch(interp)
-        interp.in_nt_path = True
-        interp.cache_version = _NT_VERSION
+        # NT interpreters here are stepped per-instruction for cycle
+        # interleaving (never through fused blocks), and live for one
+        # path only: enter_nt is never paired with exit_nt.
+        interp.enter_nt(_NT_VERSION, config.max_nt_path_length)
 
         context = _NTContext(
             core, interp, view, segment,
@@ -391,10 +398,11 @@ class DetailedCmpEngine:
         result.instret_taken = self.primary.instret
         result.primary_cycles = self.primary.cycles
         result.cycles = max(self.primary.cycles, self._max_nt_cycles)
-        result.baseline_covered = self.coverage.baseline_covered
-        result.total_covered = self.coverage.total_covered
-        result.taken_edges = self.coverage.taken_edge_keys
-        result.covered_edges = self.coverage.covered_edge_keys
+        taken_edges, covered_edges = self.coverage.edge_sets()
+        result.baseline_covered = len(taken_edges)
+        result.total_covered = len(covered_edges)
+        result.taken_edges = taken_edges
+        result.covered_edges = covered_edges
         if self.detector is not None:
             result.reports = list(self.detector.reports)
         result.output = self.io.output_text

@@ -16,7 +16,9 @@ One engine drives all four modes:
 
 from __future__ import annotations
 
-from repro.btb.btb import BranchTargetBuffer
+from time import perf_counter
+
+from repro.btb.btb import COUNTER_MAX, BranchTargetBuffer, _Entry
 from repro.core.cmp import CmpScheduler
 from repro.core.config import Mode, PathExpanderConfig
 from repro.core.result import NTPathRecord, NTPathTermination, RunResult
@@ -93,29 +95,42 @@ class PathExpanderEngine:
         self.result.total_edges = program.num_edges
         self._in_nt = False
         self._spawning = cfg.spawning_enabled
+        self._explore_from_nt = cfg.explore_nt_from_nt
+        # Hot-path bindings for _on_branch (it runs at every retired
+        # branch): the packed coverage sets and the selector's policy
+        # constants, so the common no-spawn outcome touches no
+        # intermediate objects.
+        self._taken_edges = self.coverage._taken
+        self._nt_edges = self.coverage._nt
+        self._threshold = self.selector.threshold
+        self._random_rate = self.selector.random_rate
+        self._btb_sets = self.btb._sets
+        self._btb_num_sets = self.btb.num_sets
+        self._btb_ways = self.btb.ways
         self._nt_cache_pool = None
         self._nt_forced_edges = set()
         self.nt_store_count = 0
+        # Reused across every spawn: capturing into a preallocated
+        # checkpoint keeps the spawn hot path allocation-free.
+        self._checkpoint = Checkpoint()
+        # Wall-clock seconds spent stepping inside NT-paths (not
+        # serialized -- benchmark instrumentation only).
+        self.nt_wall_seconds = 0.0
 
     # ==================================================================
 
     def run(self):
         """Execute the monitored run; returns the :class:`RunResult`."""
         result = self.result
-        core = self.core
         interp = self.interp
         limit = self.config.max_instructions
         # Fused blocks honour the budget themselves (they refuse to
-        # overshoot it); the loop check below lands on exactly the same
-        # truncation point either way.
+        # overshoot it); drive_taken's loop check lands on exactly the
+        # same truncation point either way.
         interp.instret_limit = limit
-        step = interp.step_fast
         try:
-            while True:
-                step()
-                if core.instret >= limit:
-                    result.truncated = True
-                    break
+            interp.drive_taken(limit)
+            result.truncated = True
         except ProgramExit as exit_:
             result.exit_code = exit_.code
         except SimFault as fault:
@@ -132,10 +147,11 @@ class PathExpanderEngine:
             result.cycles = max(self.core.cycles, self.scheduler.last_end)
         else:
             result.cycles = self.core.cycles
-        result.baseline_covered = self.coverage.baseline_covered
-        result.total_covered = self.coverage.total_covered
-        result.taken_edges = self.coverage.taken_edge_keys
-        result.covered_edges = self.coverage.covered_edge_keys
+        taken_edges, covered_edges = self.coverage.edge_sets()
+        result.baseline_covered = len(taken_edges)
+        result.total_covered = len(covered_edges)
+        result.taken_edges = taken_edges
+        result.covered_edges = covered_edges
         if self.detector is not None:
             result.reports = list(self.detector.reports)
         result.output = self.io.output_text
@@ -148,24 +164,67 @@ class PathExpanderEngine:
     def _on_branch(self, addr, taken, instr):
         if self._in_nt:
             self.result.nt_branch_count += 1
-            self.coverage.record(addr, taken, True)
-            if self.config.explore_nt_from_nt:
+            self._nt_edges.add(addr << 1 | taken)
+            if self._explore_from_nt:
                 self._maybe_force_edge(addr, taken, instr)
             return
         self.result.taken_branch_count += 1
-        self.coverage.record(addr, taken, False)
-        self.btb.record_edge(addr, taken)
+        self._taken_edges.add(addr << 1 | taken)
+        # BranchTargetBuffer.observe_edge inlined (same reason as the
+        # selector inline below; btb.py holds the reference copy and
+        # the LRU-equivalence argument).
+        btb = self.btb
+        tick = btb._tick + 1
+        btb._tick = tick
+        entries = self._btb_sets[addr % self._btb_num_sets]
+        for entry in entries:
+            if entry.addr == addr:
+                entry.lru = tick
+                break
+        else:
+            if len(entries) >= self._btb_ways:
+                victim = min(entries, key=lambda e: e.lru)
+                entries.remove(victim)
+                btb.evictions += 1
+            entry = _Entry(addr, tick)
+            entries.append(entry)
+        if taken:
+            if entry.taken_count < COUNTER_MAX:
+                entry.taken_count += 1
+        elif entry.nt_count < COUNTER_MAX:
+            entry.nt_count += 1
         if not self._spawning:
             return
-        self.selector.observe_retired(self.core.instret)
+        selector = self.selector
+        instret = self.core.instret
+        # The periodic counter reset must precede the CMP busy check
+        # (the reference path ran observe_retired unconditionally).
+        if instret >= selector.next_reset:
+            selector.reset_now(instret)
         if self.scheduler is not None \
                 and not self.scheduler.slot_free(self.core.cycles):
             self.result.nt_skipped_busy += 1
             return
         nt_taken = not taken
-        if self.selector.should_spawn(addr, nt_taken):
-            target = instr.b if nt_taken else addr + 1
-            self._run_nt_path(addr, nt_taken, target)
+        # NTPathSelector.consider inlined: the spawn decision runs at
+        # every retired taken-path branch, and the no-spawn outcome
+        # must cost no more than a counter compare.
+        selector.considered += 1
+        count = entry.taken_count if nt_taken else entry.nt_count
+        if count >= self._threshold:
+            if self._random_rate <= 0.0 \
+                    or selector._next_random() >= self._random_rate:
+                return
+            selector.random_selected += 1
+        selector.selected += 1
+        # Entering the NT-path exercises the edge (Section 4.2(1)).
+        if nt_taken:
+            if entry.taken_count < COUNTER_MAX:
+                entry.taken_count += 1
+        elif entry.nt_count < COUNTER_MAX:
+            entry.nt_count += 1
+        target = instr.b if nt_taken else addr + 1
+        self._run_nt_path(addr, nt_taken, target)
 
     def _maybe_force_edge(self, addr, taken, instr):
         """Ablation (Section 4.2(3)): explore non-taken edges *from*
@@ -182,7 +241,7 @@ class PathExpanderEngine:
         if self.btb.edge_count(addr, other) == 0:
             self._nt_forced_edges.add(key)
             self.core.pc = instr.b if other else addr + 1
-            self.coverage.record(addr, other, True)
+            self.coverage.record_nt(addr, other)
 
     # ==================================================================
     # NT-path lifecycle (Section 4.2(2)-(3))
@@ -196,12 +255,14 @@ class PathExpanderEngine:
         result.nt_spawned += 1
         # The forced edge itself is executed (in the sandbox) and
         # therefore observed by the detector: it counts as covered.
-        self.coverage.record(branch_addr, edge_taken, True)
+        self.coverage.record_nt(branch_addr, edge_taken)
         cycles_at_spawn = core.cycles
         instret_at_spawn = core.instret
         stores_at_spawn = interp.store_count
 
-        checkpoint = Checkpoint(core, self.allocator)
+        checkpoint = self._checkpoint
+        checkpoint.capture(core)
+        self.allocator.begin_txn()
         self.memory.begin_journal()
         io_snapshot = self.io.snapshot() \
             if config.sandbox_unsafe_events else None
@@ -211,16 +272,17 @@ class PathExpanderEngine:
 
         core.pc = target
         core.pred = config.variable_fixing
-        interp.in_nt_path = True
-        interp.cache_version = _NT_VERSION
+        nt_limit = instret_at_spawn + config.max_nt_path_length
+        interp.enter_nt(_NT_VERSION, nt_limit)
         self._in_nt = True
         self._nt_forced_edges.clear()
 
         reason = NTPathTermination.LENGTH
-        max_len = config.max_nt_path_length
+        step = interp.step_fast
+        started = perf_counter()
         try:
-            while core.instret - instret_at_spawn < max_len:
-                event = interp.step()
+            while core.instret < nt_limit:
+                event = step()
                 if event is not None:
                     reason = (NTPathTermination.UNSAFE
                               if event == 'unsafe'
@@ -230,6 +292,7 @@ class PathExpanderEngine:
             reason = NTPathTermination.CRASH
         except ProgramExit:
             reason = NTPathTermination.PROGRAM_END
+        self.nt_wall_seconds += perf_counter() - started
 
         length = core.instret - instret_at_spawn
         nt_cycles = core.cycles - cycles_at_spawn
@@ -239,12 +302,12 @@ class PathExpanderEngine:
         # gang-invalidation of volatile cache lines
         entries = self.memory.rollback()
         result.journal_entries_total += entries
-        checkpoint.restore(core, self.allocator)
+        checkpoint.restore(core)
+        self.allocator.rollback_txn()
         if io_snapshot is not None:
             self.io.restore(io_snapshot)
         self._in_nt = False
-        interp.in_nt_path = False
-        interp.cache_version = 0
+        interp.exit_nt()
 
         if self.scheduler is not None:
             if interp.cache is not None:

@@ -17,6 +17,8 @@ per-run generator.
 
 from __future__ import annotations
 
+from repro.btb.btb import COUNTER_MAX
+
 _MASK64 = (1 << 63) - 1
 
 
@@ -28,7 +30,7 @@ class NTPathSelector:
         self.reset_interval = config.counter_reset_interval
         self.random_rate = config.selection_random_rate
         self._rng_state = config.selection_random_seed | 1
-        self._next_reset = self.reset_interval
+        self.next_reset = self.reset_interval
         self.resets = 0
         self.considered = 0
         self.selected = 0
@@ -39,12 +41,42 @@ class NTPathSelector:
                            + 1442695040888963407) & _MASK64
         return ((self._rng_state >> 17) & 0xFFFFFF) / float(1 << 24)
 
+    def reset_now(self, instret):
+        """Periodic BTB counter reset, due when ``instret`` reaches
+        :attr:`next_reset` (the engines inline that comparison)."""
+        self.btb.reset_counters()
+        self.resets += 1
+        self.next_reset = instret + self.reset_interval
+
     def observe_retired(self, instret):
         """Periodic counter reset, driven by retired instructions."""
-        if instret >= self._next_reset:
-            self.btb.reset_counters()
-            self.resets += 1
-            self._next_reset = instret + self.reset_interval
+        if instret >= self.next_reset:
+            self.reset_now(instret)
+
+    def consider(self, entry, nt_edge_taken):
+        """:meth:`should_spawn` against an already-looked-up BTB entry.
+
+        The engines obtain ``entry`` from
+        :meth:`BranchTargetBuffer.observe_edge` on the same branch, so
+        reading/bumping its counters directly is exactly the reference
+        ``edge_count`` + ``record_edge`` sequence minus the redundant
+        lookups.
+        """
+        self.considered += 1
+        count = entry.taken_count if nt_edge_taken else entry.nt_count
+        if count >= self.threshold:
+            if self.random_rate <= 0.0 \
+                    or self._next_random() >= self.random_rate:
+                return False
+            self.random_selected += 1
+        self.selected += 1
+        # Entering the NT-path exercises the edge (Section 4.2(1)).
+        if nt_edge_taken:
+            if entry.taken_count < COUNTER_MAX:
+                entry.taken_count += 1
+        elif entry.nt_count < COUNTER_MAX:
+            entry.nt_count += 1
+        return True
 
     def should_spawn(self, branch_addr, nt_edge_taken):
         """Decide whether to explore the non-taken edge of a branch."""

@@ -11,31 +11,58 @@ from __future__ import annotations
 
 
 class CoverageTracker:
-    """Tracks executed branch edges for one program."""
+    """Tracks executed branch edges for one program.
+
+    Edges are stored internally as packed ints (``addr << 1 | taken``):
+    the per-branch record on the hot path is then one shift-or and one
+    set add, and the tuple keys the rest of the codebase consumes are
+    only materialised at finalize time (:meth:`edge_sets` -- one pass,
+    instead of the three separate unions the engines used to compute).
+    """
 
     def __init__(self, program):
         self.program = program
         self.total_edges = program.num_edges
-        self._taken_path_edges = set()
-        self._nt_path_edges = set()
+        self._taken = set()        # packed taken-path edges
+        self._nt = set()           # packed NT-path edges
+
+    def record_taken(self, branch_addr, taken):
+        self._taken.add(branch_addr << 1 | taken)
+
+    def record_nt(self, branch_addr, taken):
+        self._nt.add(branch_addr << 1 | taken)
 
     def record(self, branch_addr, taken, in_nt_path):
-        key = (branch_addr, taken)
+        key = branch_addr << 1 | (1 if taken else 0)
         if in_nt_path:
-            self._nt_path_edges.add(key)
+            self._nt.add(key)
         else:
-            self._taken_path_edges.add(key)
+            self._taken.add(key)
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _decode(keys):
+        return {(key >> 1, bool(key & 1)) for key in keys}
+
+    def edge_sets(self):
+        """``(taken_edges, covered_edges)`` as tuple-key sets.
+
+        Computes the taken set and the taken|NT union exactly once;
+        finalize code should consume both from this single call.
+        """
+        taken = self._decode(self._taken)
+        covered = taken | self._decode(self._nt)
+        return taken, covered
 
     @property
     def baseline_covered(self):
         """Edges the monitored run covered without PathExpander."""
-        return len(self._taken_path_edges)
+        return len(self._taken)
 
     @property
     def total_covered(self):
-        return len(self._taken_path_edges | self._nt_path_edges)
+        return len(self._taken | self._nt)
 
     @property
     def baseline_coverage(self):
@@ -51,15 +78,15 @@ class CoverageTracker:
 
     @property
     def covered_edge_keys(self):
-        return self._taken_path_edges | self._nt_path_edges
+        return self._decode(self._taken | self._nt)
 
     @property
     def taken_edge_keys(self):
-        return set(self._taken_path_edges)
+        return self._decode(self._taken)
 
     def merge_into(self, cumulative):
         """Union this run's edges into a :class:`CumulativeCoverage`."""
-        cumulative.add(self._taken_path_edges, self._nt_path_edges)
+        cumulative.add(self._decode(self._taken), self._decode(self._nt))
 
 
 class CumulativeCoverage:

@@ -9,8 +9,11 @@ Two interchangeable backends execute programs (see DESIGN.md,
 
 ``fast``
     :class:`~repro.cpu.fastinterp.FastInterpreter` -- predecoded
-    per-instruction closures plus fused basic-block closures.  Must be
-    byte-identical to the reference on every observable
+    per-instruction closures plus fused basic-block closures, compiled
+    in two tiers: a taken-path block table and a *sandboxed* NT-path
+    table whose stores route through the active memory journal and
+    honour the volatile-overflow exit and the NT length budget.  Must
+    be byte-identical to the reference on every observable
     (:meth:`RunResult.to_dict`); the differential harness in
     ``tests/test_backend_equivalence.py`` enforces this.
 

@@ -24,12 +24,18 @@ Semantics are *identical* to the reference backend by construction
   overflow) first flushes the cycles/instret of the instructions
   already executed and restores the faulting PC, reproducing the
   reference backend's mid-run state exactly;
-* a block refuses to run when it would cross the engine's
-  ``instret_limit`` (``max_instructions``) and executes one
-  instruction instead, so truncation points match;
-* inside NT-paths the engines call ``step()`` -- per-instruction
-  dispatch -- because the sandbox (store buffering, unsafe-event and
-  length checks) must observe every instruction;
+* a block refuses to run when it would cross the interpreter's
+  ``instret_limit`` (``max_instructions`` on the taken path, the
+  NT-path length budget inside the sandbox -- see ``enter_nt``) and
+  executes one instruction instead, so truncation points match;
+* inside NT-paths ``step_fast`` dispatches through a second,
+  *sandboxed* block table compiled from the same CFG partitioning:
+  stores check L1 volatile overflow (flushing the completed prefix and
+  returning ``'overflow'`` exactly where the reference would) and
+  route through the active memory journal with the monitor-area
+  carve-out inlined; everything that can terminate a path
+  (``syscall``/``malloc``/``free``, predicated execution) is never
+  fused and reaches the reference semantics per instruction;
 * anything exotic (predicated instructions, ``malloc``/``free``,
   out-of-range PCs) falls back to the inherited reference ``step``.
 
@@ -42,12 +48,16 @@ from __future__ import annotations
 from repro.cpu.exceptions import FaultKind, ProgramExit, SimFault
 from repro.cpu.interpreter import Interpreter
 from repro.cpu.timing import PREDICATED_SKIP_COST
-from repro.isa.cfg import BLOCK_OPS, block_leaders, fuseable_run
+from repro.isa.cfg import BLOCK_OPS, basic_runs
 from repro.isa.instructions import Reg
 from repro.memory.main_memory import NULL_GUARD, MainMemory
 
 _SHIFT_MASK = 63
 _SP = Reg.SP
+
+# Upper bound on instructions stitched into one superblock trace
+# (compile-time source-size control; semantics are cap-independent).
+_TRACE_CAP = 64
 
 
 def _is_reg(value):
@@ -549,32 +559,100 @@ class _BlockCompiler:
     a ``SimFault`` unwinds through a handler that retires the cycles
     and instret of the instructions already completed and parks
     ``core.pc`` on the faulting instruction.
+
+    With ``sandboxed=True`` the compiler emits the NT-path variant of
+    every block: stores check for L1 volatile overflow (flushing the
+    completed prefix and returning ``'overflow'`` mid-block, exactly
+    where the reference per-instruction loop would stop) and write
+    through the active memory journal -- first store to a non-monitor
+    address records the old value -- instead of plain memory.
     """
 
-    def __init__(self, interp):
+    def __init__(self, interp, sandboxed=False, runs_map=None):
         self.interp = interp
+        self.sandboxed = sandboxed
+        # leader -> (count, terminator) for every compiled run; lets
+        # ``compile`` stitch traces across absorbed jmps.
+        self.runs_map = runs_map if runs_map is not None else {}
         self.cost = interp._cost
         self.has_det = interp.detector is not None
         self.has_cache = interp.cache is not None
         self.l1_hit = interp.costs.l1_hit
-        # Plain MainMemory reads can be inlined (bounds guard + list
+        # Plain MainMemory accesses can be inlined (bounds guard + list
         # index); the detailed-CMP memory views cannot.
         self.inline_read = type(interp.memory) is MainMemory
+        # The cache's last-line memo can be inlined too (one compare
+        # chain instead of a method call) when the line size is a power
+        # of two, so the line number is a shift.  Engines may swap
+        # interp.cache mid-run (CMP borrowed caches), but always for
+        # one built from the same config, so the geometry constants
+        # bound here stay valid.
+        self.line_shift = None
+        if self.has_cache:
+            line_words = interp.cache.line_words
+            if line_words > 0 and line_words & (line_words - 1) == 0:
+                self.line_shift = line_words.bit_length() - 1
+                self.cache_hit = interp.cache.hit_latency
 
     # ------------------------------------------------------------------
 
     def compile(self, leader, count, terminator):
-        """Returns ``(name, source, extra_namespace)`` or None."""
+        """Returns ``(name, source, extra_namespace)`` or None.
+
+        When the run ends in an absorbed ``jmp`` whose target leads
+        another compiled run, the successor's instructions are stitched
+        into the same closure (a superblock trace), repeating until a
+        conditional branch, an unfusable run, a cycle, or the length
+        cap.  The stitched tail is a *copy* -- the successor run still
+        compiles to its own block for direct entry -- and every
+        per-instruction emission carries its real pc, so faults,
+        overflow exits and detector hooks are indistinguishable from
+        the unstitched blocks.
+        """
+        segments = [(leader, count, terminator)]
+        seen = {leader}
+        total_count = count
+        term = terminator
+        while (term is not None and term.op == 'jmp'
+               and _is_imm(term.a)):
+            nxt = self.runs_map.get(term.a)
+            if nxt is None or term.a in seen \
+                    or total_count + nxt[0] > _TRACE_CAP:
+                break
+            segments.append((term.a, nxt[0], nxt[1]))
+            seen.add(term.a)
+            total_count += nxt[0]
+            term = nxt[1]
+        compiled = self._compile_trace(segments)
+        if compiled is None and len(segments) > 1:
+            # A stitched successor defeated emission; the plain
+            # single-run block may still compile.
+            compiled = self._compile_trace(segments[:1])
+        return compiled
+
+    def _compile_trace(self, segments):
         code = self.interp.code
         cost = self.cost
+        leader = segments[0][0]
+        last_leader, last_count, terminator = segments[-1]
         parts = []
-        for index in range(count):
-            emitted = self._emit(code[leader + index], leader + index,
-                                 index)
-            if emitted is None:
-                return None
-            parts.append(emitted)
-        retired = count
+        pcs = []
+        for seg_index, (seg_leader, seg_count, seg_term) \
+                in enumerate(segments):
+            for offset in range(seg_count):
+                pc = seg_leader + offset
+                emitted = self._emit(code[pc], pc, len(parts), leader)
+                if emitted is None:
+                    return None
+                parts.append(emitted)
+                pcs.append(pc)
+            if seg_index < len(segments) - 1:
+                # Mid-trace absorbed jmp: no code, but it occupies a
+                # retired-instruction position so the fault flush and
+                # partial cycle sums stay index-exact.
+                parts.append(_Emitted([], cost['jmp']))
+                pcs.append(seg_leader + seg_count)
+        retired = len(parts)
         total = sum(part.static for part in parts)
         risky = any(part.risky for part in parts)
         has_cy = any(part.cy for part in parts)
@@ -638,15 +716,23 @@ class _BlockCompiler:
             extra[sp_name] = tuple(partials)
             cy_flush = '_cy + %s[_i]' % sp_name if has_cy \
                 else '%s[_i]' % sp_name
+            if len(segments) > 1:
+                # Stitched trace: block position != leader offset past
+                # the first segment, so park pc via a position table.
+                pc_name = '_PC%d' % leader
+                extra[pc_name] = tuple(pcs)
+                fault_pc = '%s[_i]' % pc_name
+            else:
+                fault_pc = '%d + _i' % leader
             src.append('    except _SimFault:')
-            src.append('        core.pc = %d + _i' % leader)
+            src.append('        core.pc = ' + fault_pc)
             src.append('        core.cycles += ' + cy_flush)
             src.append('        core.instret += _i')
             src.append('        raise')
         cy_commit = '_cy + %d' % total if has_cy else '%d' % total
 
         if terminator is not None and terminator.op == 'br':
-            br_pc = leader + count
+            br_pc = last_leader + last_count
             br_name = '_br%d' % br_pc
             extra[br_name] = terminator
             src.append('    _tk = r[%d] != 0' % terminator.a)
@@ -662,7 +748,7 @@ class _BlockCompiler:
             if terminator is not None:           # absorbed jmp
                 next_pc = terminator.a
             else:
-                next_pc = leader + count
+                next_pc = last_leader + last_count
             src.append('    core.pc = %d' % next_pc)
             src.append('    core.cycles += ' + cy_commit)
             src.append('    core.instret += %d' % retired)
@@ -683,7 +769,35 @@ class _BlockCompiler:
                     '_v = _cells[_a]']
         return ['_v = _rd(_a)']
 
-    def _emit(self, instr, pc, index):
+    def _write_lines(self):
+        """Source writing ``_v`` to memory at ``_a``.
+
+        With plain MainMemory the bounds guard and the journal test are
+        inlined; out-of-bounds addresses take the fallback call, which
+        raises the exact reference fault.  The sandboxed variant
+        assumes an active journal (the engine begins one before any
+        sandboxed block can run) and inlines MainMemory.write's
+        first-write-only journal capture with the monitor-area
+        carve-out.
+        """
+        if not self.inline_read:
+            return ['_wr(_a, _v)']
+        guard = ['if _a < %d or _a >= _msize:' % NULL_GUARD,
+                 '    _wr(_a, _v)']
+        if self.sandboxed:
+            return guard + [
+                'elif _a in _jl or _mb <= _a < _ml:',
+                '    _cells[_a] = _v',
+                'else:',
+                '    _jl[_a] = _cells[_a]',
+                '    _cells[_a] = _v']
+        return guard + [
+            'elif _mem._journal is None:',
+            '    _cells[_a] = _v',
+            'else:',
+            '    _wr(_a, _v)']
+
+    def _emit(self, instr, pc, index, leader):
         op, a, b, c = instr.op, instr.a, instr.b, instr.c
         if instr.pred:
             # Inside a block the predicate register is provably false
@@ -734,8 +848,29 @@ class _BlockCompiler:
             static = cost
             cy = False
             if self.has_cache:
-                lines.append(
-                    '_cy += _cache.access(_a, False, _cv).cycles')
+                if self.line_shift is not None:
+                    # Inlined last-line memo: reproduces the memo-hit
+                    # arm of Cache.access exactly (tick, lru, hits),
+                    # delegating to the method on a memo miss with the
+                    # tick restored so the method re-bumps it.
+                    lines.extend([
+                        '_t = _cache._tick + 1',
+                        '_cache._tick = _t',
+                        '_ln = _cache._last_line',
+                        'if _ln is not None'
+                        ' and _cache._last_tag == _a >> %d'
+                        ' and _ln.version == _cv:' % self.line_shift,
+                        '    _ln.lru = _t',
+                        '    _cache.hits += 1',
+                        '    _cy += %d' % self.cache_hit,
+                        'else:',
+                        '    _cache._tick = _t - 1',
+                        '    _cy += _cache.access(_a, False, _cv)'
+                        '.cycles',
+                    ])
+                else:
+                    lines.append(
+                        '_cy += _cache.access(_a, False, _cv).cycles')
                 cy = True
             else:
                 static += self.l1_hit
@@ -755,16 +890,66 @@ class _BlockCompiler:
             static = cost
             cy = False
             if self.has_cache:
+                if self.line_shift is not None:
+                    # Inlined last-line memo (see the load arm).  A
+                    # memo hit can never signal volatile overflow (the
+                    # preallocated hit result never does), so the
+                    # sandboxed overflow exit lives on the miss arm
+                    # only.
+                    lines.extend([
+                        '_t = _cache._tick + 1',
+                        '_cache._tick = _t',
+                        '_ln = _cache._last_line',
+                        'if _ln is not None'
+                        ' and _cache._last_tag == _a >> %d'
+                        ' and _ln.version == _cv:' % self.line_shift,
+                        '    _ln.dirty = True',
+                        '    _ln.lru = _t',
+                        '    _cache.hits += 1',
+                        '    _tc = %d' % self.cache_hit,
+                        'else:',
+                        '    _cache._tick = _t - 1',
+                        '    _res = _cache.access(_a, True, _cv)',
+                        '    _tc = _res.cycles',
+                    ])
+                    if self.sandboxed:
+                        # NT-path store: L1 may refuse to buffer
+                        # another volatile line.  The reference charges
+                        # the store's full cycles, leaves pc/instret on
+                        # the store and returns 'overflow'; flush the
+                        # completed prefix exactly as the SimFault
+                        # handler would.
+                        lines.extend([
+                            '    if _res.volatile_overflow:',
+                            '        core.pc = %d' % pc,
+                            '        core.cycles += _cy + _SP%d[%d]'
+                            ' + %d + _tc' % (leader, index, cost),
+                            '        core.instret += %d' % index,
+                            "        return 'overflow'",
+                        ])
+                elif self.sandboxed:
+                    lines.extend([
+                        '_res = _cache.access(_a, True, _cv)',
+                        '_tc = _res.cycles',
+                        'if _res.volatile_overflow:',
+                        '    core.pc = %d' % pc,
+                        '    core.cycles += _cy + _SP%d[%d] + %d + _tc'
+                        % (leader, index, cost),
+                        '    core.instret += %d' % index,
+                        "    return 'overflow'",
+                    ])
+                else:
+                    lines.append(
+                        '_tc = _cache.access(_a, True, _cv).cycles')
                 # The store's own cache latency is committed only once
                 # the write succeeds (the reference discards it when
                 # memory.write faults), but the cache state mutation
                 # and store_count survive -- exactly as in step().
-                lines.append('_t = _cache.access(_a, True, _cv).cycles')
-                lines.append('_wr(_a, _v)')
-                lines.append('_cy += _t')
+                lines.extend(self._write_lines())
+                lines.append('_cy += _tc')
                 cy = True
             else:
-                lines.append('_wr(_a, _v)')
+                lines.extend(self._write_lines())
                 static += self.l1_hit
             if self.has_det:
                 lines.append('core.pc = %d' % pc)
@@ -775,15 +960,18 @@ class _BlockCompiler:
         if op == 'push':
             if not _is_reg(a):
                 return None
-            return _Emitted([
+            lines = [
                 '_i = %d' % index,
                 '_s = r[%d] - 1' % _SP,
                 'if _s < _stk:',
                 "    raise _SimFault(_FK.STACK_OVERFLOW,"
                 " 'sp=%d' % _s)",
                 'r[%d] = _s' % _SP,
-                '_wr(_s, r[%d])' % a,
-            ], cost, risky=True)
+                '_a = _s',
+                '_v = r[%d]' % a,
+            ]
+            lines.extend(self._write_lines())
+            return _Emitted(lines, cost, risky=True)
         if op == 'pop':
             if not _is_reg(a):
                 return None
@@ -805,8 +993,8 @@ class _BlockCompiler:
 class FastInterpreter(Interpreter):
     """Drop-in replacement for :class:`Interpreter` (same contract)."""
 
-    __slots__ = ('_n', '_ops', '_fast', '_ref_thunk',
-                 'block_compile_failed', 'block_count')
+    __slots__ = ('_n', '_ops', '_fast', '_fast_nt', '_runs', '_ref_thunk',
+                 'block_compile_failed', 'block_count', 'nt_block_count')
 
     def __init__(self, program, memory, allocator, core, io, costs,
                  cache=None, detector=None, on_branch=None):
@@ -816,12 +1004,16 @@ class FastInterpreter(Interpreter):
         self._n = len(self.code)
         # Lazily filled: decoding every address eagerly would penalise
         # short-lived interpreters (one is built per NT-path in the
-        # detailed CMP engine).
+        # detailed CMP engine).  The sandboxed block table is likewise
+        # only compiled once the first NT-path actually runs.
         self._ops = [None] * self._n
         self._fast = None
+        self._fast_nt = None
+        self._runs = None
         self._ref_thunk = None
         self.block_compile_failed = False
         self.block_count = 0
+        self.nt_block_count = 0
 
     # ------------------------------------------------------------------
     # dispatch
@@ -841,23 +1033,50 @@ class FastInterpreter(Interpreter):
     def step_fast(self):
         """Execute one fused basic block (or one instruction).
 
-        Only valid outside NT-paths: the sandbox must observe every
-        instruction (store-overflow/unsafe events, length budgets), so
-        NT execution degrades to per-instruction ``step`` -- which is
-        what the engines call there anyway.
+        Dispatches through the taken-path block table, or -- inside an
+        NT-path -- through the sandboxed variant, whose blocks honour
+        the journal, the volatile-overflow exit and the NT instret
+        budget (installed by ``enter_nt``).
         """
         if self.in_nt_path:
-            return self.step()
+            table = self._fast_nt
+            if table is None:
+                table = self._build_fast_table(sandboxed=True)
+        else:
+            table = self._fast
+            if table is None:
+                table = self._build_fast_table()
         pc = self.core.pc
-        fast = self._fast
-        if fast is None:
-            fast = self._build_fast_table()
         if 0 <= pc < self._n:
-            fn = fast[pc]
+            fn = table[pc]
             if fn is None:
-                fn = self._decode_fast(pc)
+                fn = self._decode_into(table, pc)
             return fn()
         return Interpreter.step(self)
+
+    def drive_taken(self, limit):
+        """Taken-path main loop over the block table.
+
+        Inlines ``step_fast``'s dispatch (the per-call wrapper is a
+        measurable share of monitored-run time).  NT-paths spawned by
+        the branch callback run to completion inside the dispatched
+        closure, so ``in_nt_path`` is always False at this level.
+        """
+        core = self.core
+        table = self._fast
+        if table is None:
+            table = self._build_fast_table()
+        n = self._n
+        ref_step = Interpreter.step
+        while core.instret < limit:
+            pc = core.pc
+            if 0 <= pc < n:
+                fn = table[pc]
+                if fn is None:
+                    fn = self._decode_into(table, pc)
+                fn()
+            else:
+                ref_step(self)
 
     # ------------------------------------------------------------------
     # predecode
@@ -886,11 +1105,11 @@ class FastInterpreter(Interpreter):
         self._ops[pc] = fn
         return fn
 
-    def _decode_fast(self, pc):
+    def _decode_into(self, table, pc):
         fn = self._ops[pc]
         if fn is None:
             fn = self._decode(pc)
-        self._fast[pc] = fn
+        table[pc] = fn
         return fn
 
     def _step_at(self, pc):
@@ -910,19 +1129,29 @@ class FastInterpreter(Interpreter):
             ops = ops | frozenset({'assert'})
         return ops
 
-    def _build_fast_table(self):
-        fast = [None] * self._n
-        self._fast = fast
-        compiler = _BlockCompiler(self)
-        ops = self._block_ops()
+    def _build_fast_table(self, sandboxed=False):
+        """Compile one block table -- taken-path or sandboxed NT-path.
+
+        Both variants are compiled from the same CFG partitioning
+        (computed once and cached on ``_runs``); only the store/budget
+        emission differs (see :class:`_BlockCompiler`).
+        """
+        table = [None] * self._n
+        if sandboxed:
+            self._fast_nt = table
+        else:
+            self._fast = table
+        runs = self._runs
+        if runs is None:
+            runs = self._runs = basic_runs(self.program,
+                                           self._block_ops())
+        compiler = _BlockCompiler(
+            self, sandboxed=sandboxed,
+            runs_map={l: (c, t) for l, c, t in runs})
         sources = []
         entries = []
         extras = {}
-        for leader in sorted(block_leaders(self.program, ops)):
-            count, terminator = fuseable_run(self.code, leader, ops)
-            weight = count + (1 if terminator is not None else 0)
-            if weight < 2:
-                continue
+        for leader, count, terminator in runs:
             try:
                 compiled = compiler.compile(leader, count, terminator)
             except Exception:
@@ -934,7 +1163,7 @@ class FastInterpreter(Interpreter):
             entries.append((leader, name))
             extras.update(extra)
         if not sources:
-            return fast
+            return table
         namespace = {
             '_core': self.core,
             '_interp': self,
@@ -948,19 +1177,33 @@ class FastInterpreter(Interpreter):
         if compiler.inline_read:
             namespace['_cells'] = self.memory.cells
             namespace['_msize'] = self.memory.size
+            if sandboxed:
+                namespace['_jl'] = self.memory.nt_journal
+                namespace['_mb'] = self.memory.monitor_base
+                namespace['_ml'] = self.memory.monitor_limit
+            else:
+                namespace['_mem'] = self.memory
         if self.detector is not None:
             namespace['_dl'] = self.detector.on_load
             namespace['_ds'] = self.detector.on_store
         namespace.update(extras)
+        filename = '<fastblocks%s:%s>' % ('-nt' if sandboxed else '',
+                                          self.program.name)
         try:
-            exec(compile('\n'.join(sources),
-                         '<fastblocks:%s>' % self.program.name,
-                         'exec'), namespace)
+            exec(compile('\n'.join(sources), filename, 'exec'),
+                 namespace)
             for leader, name in entries:
-                fast[leader] = namespace[name]
-            self.block_count = len(entries)
+                table[leader] = namespace[name]
+            if sandboxed:
+                self.nt_block_count = len(entries)
+            else:
+                self.block_count = len(entries)
         except Exception:
             # Automatic fallback: run on predecoded dispatch only.
             self.block_compile_failed = True
-            self._fast = fast = [None] * self._n
-        return fast
+            table = [None] * self._n
+            if sandboxed:
+                self._fast_nt = table
+            else:
+                self._fast = table
+        return table

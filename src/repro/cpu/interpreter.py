@@ -41,7 +41,7 @@ class Interpreter:
     __slots__ = ('program', 'code', 'memory', 'allocator', 'core', 'io',
                  'costs', 'cache', 'detector', 'on_branch', 'in_nt_path',
                  'cache_version', 'store_count', 'sandbox_unsafe',
-                 '_cost', 'instret_limit')
+                 '_cost', 'instret_limit', '_outer_limit')
 
     def __init__(self, program, memory, allocator, core, io, costs,
                  cache=None, detector=None, on_branch=None):
@@ -69,6 +69,28 @@ class Interpreter:
         # blocks; the reference backend steps singly, so its engine
         # loop enforces the budget between steps instead.
         self.instret_limit = NO_INSTRET_LIMIT
+        self._outer_limit = NO_INSTRET_LIMIT
+
+    # ------------------------------------------------------------------
+    # NT-path state transition
+    #
+    # Entering/leaving the sandbox changes three pieces of interpreter
+    # state at once: the NT flag, the cache version under which lines
+    # are tagged volatile, and the instret budget (inside an NT-path
+    # the budget is the path length cap, not max_instructions -- the
+    # reference engine loop never checks the global cap there either).
+    # One call pair keeps every spawn site consistent and cheap.
+
+    def enter_nt(self, cache_version, instret_limit):
+        self.in_nt_path = True
+        self.cache_version = cache_version
+        self._outer_limit = self.instret_limit
+        self.instret_limit = instret_limit
+
+    def exit_nt(self):
+        self.in_nt_path = False
+        self.cache_version = 0
+        self.instret_limit = self._outer_limit
 
     # ------------------------------------------------------------------
 
@@ -265,6 +287,22 @@ class Interpreter:
     # overrides it with basic-block dispatch, the reference backend
     # steps one instruction at a time.
     step_fast = step
+
+    def drive_taken(self, limit):
+        """Run the taken path until ``core.instret >= limit``.
+
+        Returns only at the instruction budget (the engine marks the
+        run truncated); program end and faults propagate as
+        exceptions.  Step return values need no inspection here:
+        ``'unsafe'``/``'overflow'`` can only occur inside NT-paths,
+        which the branch callback runs to completion before
+        returning.  The fast backend overrides this with a loop over
+        its block tables.
+        """
+        core = self.core
+        step = self.step
+        while core.instret < limit:
+            step()
 
     # ------------------------------------------------------------------
 

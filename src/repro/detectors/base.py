@@ -73,15 +73,40 @@ class Detector:
 
     def _report(self, kind, interp, detail='', mem_addr=None,
                 assert_id=None):
+        # Dedup before constructing anything: a site that already
+        # reported (the common case on hot loops) costs one set lookup,
+        # not a BugReport + source-location string build.
         code_addr = interp.core.pc
+        site_key = (kind, assert_id or code_addr)
+        if site_key in self._seen_sites:
+            return None
+        self._seen_sites.add(site_key)
         report = BugReport(
             kind, detail=detail, code_addr=code_addr,
             location=interp.program.location(code_addr),
             mem_addr=mem_addr, in_nt_path=interp.in_nt_path,
             assert_id=assert_id)
-        if report.site_key in self._seen_sites:
+        self.reports.append(report)
+        return report
+
+    def _report_access(self, kind, interp, op, mem_addr):
+        """:meth:`_report` for a load/store check site.
+
+        The detail string (``'<op> @<addr>'``) is only formatted for
+        *new* sites: on hot loops the same site re-reports every
+        iteration, and building a throwaway string per access is a
+        measurable share of a software checker's cost.
+        """
+        code_addr = interp.core.pc
+        site_key = (kind, code_addr)
+        if site_key in self._seen_sites:
             return None
-        self._seen_sites.add(report.site_key)
+        self._seen_sites.add(site_key)
+        report = BugReport(
+            kind, detail='%s @%d' % (op, mem_addr),
+            code_addr=code_addr,
+            location=interp.program.location(code_addr),
+            mem_addr=mem_addr, in_nt_path=interp.in_nt_path)
         self.reports.append(report)
         return report
 

@@ -22,23 +22,37 @@ class IWatcherDetector(Detector):
         self.trigger_cost = trigger_cost
         self._logic = None
         self.triggers = 0
+        # Non-heap classification memo; see CCuredDetector for the
+        # safety argument (heap addresses are never memoised).
+        self._memo_addr = None
+        self._memo_kind = None
+        self._heap_base = 0
+        self._stack_limit = 0
 
     def attach(self, program, memory, allocator):
         self._logic = MemoryCheckLogic(program, memory, allocator)
+        self._heap_base = allocator.heap_base
+        self._stack_limit = memory.stack_limit
 
-    def _check(self, addr, interp, detail):
-        kind = self._logic.classify(addr)
+    def _check(self, addr, interp, op):
+        if addr == self._memo_addr:
+            kind = self._memo_kind
+        else:
+            kind = self._logic.classify(addr)
+            if not self._heap_base <= addr < self._stack_limit:
+                self._memo_addr = addr
+                self._memo_kind = kind
         if kind is None:
             return 0
         self.triggers += 1
-        self._report(kind, interp, detail=detail, mem_addr=addr)
+        self._report_access(kind, interp, op, addr)
         return self.trigger_cost
 
     def on_load(self, addr, value, interp):
-        return self._check(addr, interp, 'load @%d' % addr)
+        return self._check(addr, interp, 'load')
 
     def on_store(self, addr, value, interp):
-        return self._check(addr, interp, 'store @%d' % addr)
+        return self._check(addr, interp, 'store')
 
     def on_free(self, addr, ok, interp):
         if not ok:

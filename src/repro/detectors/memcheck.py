@@ -33,28 +33,31 @@ class MemoryCheckLogic:
         self._global_bases = [base for _name, base, _size in objs]
         self._global_limits = [base + size for _name, base, size in objs]
         self._globals_end = memory.monitor_base
+        # Region boundaries are fixed for the run; caching them keeps
+        # the per-access classification to integer compares + at most
+        # one bisect, with no attribute chains.
+        self._stack_limit = memory.stack_limit
+        self._heap_base = allocator.heap_base
+        self._monitor_base = memory.monitor_base
 
     def classify(self, addr):
         """Return ``None`` if the access is legal, else a ReportKind."""
-        memory = self.memory
-        if addr >= memory.stack_limit:
+        if addr >= self._stack_limit:
             return OK                       # stack (frame-level: unchecked)
-        allocator = self.allocator
-        if addr >= allocator.heap_base:
-            if addr < memory.stack_limit:
-                kind = allocator.classify(addr)
-                if kind == 'object':
-                    return OK
-                if kind == 'redzone':
-                    return ReportKind.OVERRUN
-                if kind == 'freed':
-                    return ReportKind.DANGLING
-                return ReportKind.WILD
-        if addr >= memory.monitor_base:
-            return OK                       # monitor memory area
-        if addr < self._globals_end:
-            index = bisect_right(self._global_bases, addr) - 1
-            if index >= 0 and addr < self._global_limits[index]:
+        if addr >= self._heap_base:
+            kind = self.allocator.classify(addr)
+            if kind == 'object':
                 return OK
-            return ReportKind.OVERRUN       # gap between global objects
-        return ReportKind.WILD
+            if kind == 'redzone':
+                return ReportKind.OVERRUN
+            if kind == 'freed':
+                return ReportKind.DANGLING
+            return ReportKind.WILD
+        if addr >= self._monitor_base:
+            return OK                       # monitor memory area
+        # Below the monitor area lies the globals segment
+        # (``_globals_end == monitor_base``): interval-check it.
+        index = bisect_right(self._global_bases, addr) - 1
+        if index >= 0 and addr < self._global_limits[index]:
+            return OK
+        return ReportKind.OVERRUN           # gap between global objects

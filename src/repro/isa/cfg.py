@@ -12,7 +12,10 @@ Two fuseable-op tiers exist:
 * :data:`BLOCK_OPS` -- adds the straight-line memory instructions
   (``ld``/``st``/``push``/``pop``).  The fast backend fuses these too:
   their cache/detector hooks still fire per instruction *inside* the
-  fused closure, in exactly the reference order.
+  fused closure, in exactly the reference order.  Each run is compiled
+  twice from the same partitioning (:func:`basic_runs`): a taken-path
+  variant and a *sandboxed* NT-path variant whose stores route through
+  the active memory journal.
 
 Additionally a run may contain *predicated* instructions: inside a
 block the predicate register is provably false (a predicated-leader
@@ -67,6 +70,24 @@ def fuseable_run(code, pc, ops=FUSEABLE_OPS):
         if tail.op in TERMINATOR_OPS and not tail.pred:
             terminator = tail
     return end - pc, terminator
+
+
+def basic_runs(program, ops=FUSEABLE_OPS):
+    """Every fuseable run in ``program``, as ``[(leader, count,
+    terminator), ...]`` sorted by leader.
+
+    One CFG pass serving every block table built over the same op tier:
+    the fast backend compiles each run twice -- a taken-path variant
+    and a sandboxed NT-path variant -- from this single partitioning.
+    Runs of weight < 2 (nothing to fuse) are omitted.
+    """
+    code = program.code
+    runs = []
+    for leader in sorted(block_leaders(program, ops)):
+        count, terminator = fuseable_run(code, leader, ops)
+        if count + (1 if terminator is not None else 0) >= 2:
+            runs.append((leader, count, terminator))
+    return runs
 
 
 def block_leaders(program, ops=FUSEABLE_OPS):

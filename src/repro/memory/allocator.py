@@ -50,11 +50,15 @@ class HeapAllocator:
         self._serial = 0
         self.alloc_count = 0
         self.free_count = 0
+        self._txn_armed = False
+        self._txn_snap = None
 
     # ------------------------------------------------------------------
 
     def malloc(self, size):
         """Allocate ``size`` words; returns the object base address."""
+        if self._txn_armed and self._txn_snap is None:
+            self._txn_snap = self.snapshot()
         if size <= 0:
             size = 1
         total = size + 2 * RED_ZONE
@@ -83,6 +87,8 @@ class HeapAllocator:
         return obj_base
 
     def free(self, addr):
+        if self._txn_armed and self._txn_snap is None:
+            self._txn_snap = self.snapshot()
         record = self._objects.get(addr)
         if record is None or not record.live:
             # Invalid/double free: a program bug.  The checker reports
@@ -124,6 +130,25 @@ class HeapAllocator:
 
     # ------------------------------------------------------------------
     # sandbox support
+
+    def begin_txn(self):
+        """Arm a lazy rollback transaction for one NT-path.
+
+        The (comparatively expensive) :meth:`snapshot` is deferred to
+        the first ``malloc``/``free`` inside the path; the overwhelming
+        majority of NT-paths touch no allocator state and pay only the
+        two attribute writes.
+        """
+        self._txn_armed = True
+        self._txn_snap = None
+
+    def rollback_txn(self):
+        """Undo any allocator mutation since :meth:`begin_txn`."""
+        snap = self._txn_snap
+        if snap is not None:
+            self.restore(snap)
+            self._txn_snap = None
+        self._txn_armed = False
 
     def snapshot(self):
         return (

@@ -49,7 +49,7 @@ class Cache:
     __slots__ = ('line_words', 'num_lines', 'num_sets', 'ways',
                  'hit_latency', 'miss_latency', '_sets', '_tick',
                  'hits', 'misses', '_hit_result',
-                 '_last_tag', '_last_line')
+                 '_last_tag', '_last_line', '_volatile')
 
     def __init__(self, size_bytes=16384, ways=4, line_bytes=32,
                  hit_latency=3, miss_latency=10, word_bytes=4):
@@ -73,6 +73,12 @@ class Cache:
         # first-match scan below and the memo cannot change behaviour.
         self._last_tag = -1
         self._last_line = None
+        # Exact list of resident lines with version != COMMITTED.
+        # Squash-time gang invalidation and segment commit then walk
+        # the (typically tiny) volatile population instead of every
+        # set -- the per-squash full-cache sweep would otherwise
+        # dominate spawn-heavy runs.
+        self._volatile = []
 
     def _locate(self, addr):
         line_no = addr // self.line_words
@@ -100,8 +106,10 @@ class Cache:
                 # on that path's version (copy-on-write at line level).
                 if is_write:
                     line.dirty = True
-                    if version != COMMITTED:
+                    if version != COMMITTED \
+                            and line.version == COMMITTED:
                         line.version = version
+                        self._volatile.append(line)
                 line.lru = tick
                 self.hits += 1
                 self._last_tag = tag
@@ -122,11 +130,15 @@ class Cache:
             if victim.dirty:
                 displaced_dirty = victim.version
             lines.remove(victim)
+            if victim.version != COMMITTED:
+                self._volatile.remove(victim)    # rare: overflow only
             if victim is self._last_line:
                 self._last_line = None
         line = CacheLine(tag, version if is_write else COMMITTED,
                          is_write, self._tick)
         lines.append(line)
+        if is_write and version != COMMITTED:
+            self._volatile.append(line)
         self._last_tag = tag
         self._last_line = line
         return AccessResult(self.miss_latency, False,
@@ -135,33 +147,42 @@ class Cache:
 
     def gang_invalidate(self, version):
         """Drop every line owned by ``version`` (NT-path squash)."""
+        volatile = self._volatile
+        if not volatile:
+            self._last_line = None
+            return 0
         dropped = 0
-        for lines in self._sets:
-            keep = [line for line in lines if line.version != version]
-            dropped += len(lines) - len(keep)
-            lines[:] = keep
+        keep = []
+        num_sets = self.num_sets
+        for line in volatile:
+            if line.version == version:
+                self._sets[line.tag % num_sets].remove(line)
+                dropped += 1
+            else:
+                keep.append(line)
+        self._volatile = keep
         self._last_line = None
         return dropped
 
     def commit_version(self, version):
         """Lazily retag ``version`` lines as committed (segment commit)."""
         changed = 0
-        for lines in self._sets:
-            for line in lines:
-                if line.version == version:
-                    line.version = COMMITTED
-                    changed += 1
+        keep = []
+        for line in self._volatile:
+            if line.version == version:
+                line.version = COMMITTED
+                changed += 1
+            else:
+                keep.append(line)
+        self._volatile = keep
         self._last_line = None
         return changed
 
     def volatile_lines(self, version=None):
-        count = 0
-        for lines in self._sets:
-            for line in lines:
-                if line.version != COMMITTED and (
-                        version is None or line.version == version):
-                    count += 1
-        return count
+        if version is None:
+            return len(self._volatile)
+        return sum(1 for line in self._volatile
+                   if line.version == version)
 
     def reset(self):
         self._sets = [[] for _ in range(self.num_sets)]
@@ -170,3 +191,4 @@ class Cache:
         self.misses = 0
         self._last_tag = -1
         self._last_line = None
+        self._volatile = []

@@ -6,27 +6,36 @@ from __future__ import annotations
 class Checkpoint:
     """Everything needed to resume the taken path after a squash.
 
-    Captures architectural registers, the program counter, the call
-    stack bookkeeping, and the (small) allocator metadata.  Memory
-    contents are handled separately by the memory journal / versioned
-    cache, matching the hardware split of Section 4.2(2).
+    Captures architectural registers, the program counter and the call
+    stack bookkeeping.  Memory contents are handled separately by the
+    memory journal / versioned cache, and allocator metadata by its
+    lazy transaction (:meth:`Allocator.begin_txn`), matching the
+    hardware split of Section 4.2(2).
+
+    A checkpoint is *reusable*: the engine allocates one and calls
+    :meth:`capture` per spawn, so the spawn hot path allocates nothing
+    beyond the register-list copy.
     """
 
-    __slots__ = ('regs', 'pc', 'pred', 'call_depth', 'alloc_snapshot',
-                 'lcg_state')
+    __slots__ = ('regs', 'pc', 'pred', 'call_depth', 'lcg_state')
 
-    def __init__(self, core, allocator):
-        self.regs = list(core.regs)
+    def __init__(self):
+        self.regs = []
+        self.pc = 0
+        self.pred = False
+        self.call_depth = 0
+        self.lcg_state = 0
+
+    def capture(self, core):
+        self.regs[:] = core.regs
         self.pc = core.pc
         self.pred = core.pred
         self.call_depth = core.call_depth
-        self.alloc_snapshot = allocator.snapshot()
         self.lcg_state = core.lcg_state
 
-    def restore(self, core, allocator):
+    def restore(self, core):
         core.regs[:] = self.regs
         core.pc = self.pc
         core.pred = self.pred
         core.call_depth = self.call_depth
         core.lcg_state = self.lcg_state
-        allocator.restore(self.alloc_snapshot)

@@ -49,6 +49,10 @@ class MainMemory:
             raise ValueError('memory too small for the requested layout')
         self.stack_top = size
         self._journal = None
+        # Preallocated journal dict, reused across NT-path spawns:
+        # ``begin_journal`` arms it instead of allocating, and the
+        # sandboxed fast-backend blocks bind it once at compile time.
+        self.nt_journal = {}
 
     # ------------------------------------------------------------------
     # sandboxing
@@ -56,7 +60,9 @@ class MainMemory:
     def begin_journal(self):
         if self._journal is not None:
             raise RuntimeError('journal already active')
-        self._journal = {}
+        journal = self.nt_journal
+        journal.clear()
+        self._journal = journal
 
     def rollback(self):
         journal = self._journal
@@ -66,14 +72,18 @@ class MainMemory:
         for addr, old in journal.items():
             cells[addr] = old
         self._journal = None
-        return len(journal)
+        count = len(journal)
+        journal.clear()
+        return count
 
     def commit_journal(self):
         journal = self._journal
         if journal is None:
             raise RuntimeError('no active journal')
         self._journal = None
-        return len(journal)
+        count = len(journal)
+        journal.clear()
+        return count
 
     @property
     def journal_size(self):

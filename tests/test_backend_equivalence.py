@@ -54,6 +54,33 @@ def test_backends_agree(app_name, mode):
         assert fast == reference, (app_name, mode, detector_name)
 
 
+# NT-path policy extensions change what executes inside the sandbox
+# (speculative syscalls; forced edges spawned from NT-paths), so each
+# needs its own pass through the differential matrix in the spawning
+# modes.
+_NT_POLICY_OVERRIDES = {
+    'sandbox_unsafe': {'sandbox_unsafe_events': True},
+    'explore_from_nt': {'explore_nt_from_nt': True},
+    'both': {'sandbox_unsafe_events': True, 'explore_nt_from_nt': True},
+}
+
+
+@pytest.mark.parametrize('policy', sorted(_NT_POLICY_OVERRIDES))
+@pytest.mark.parametrize('mode', (Mode.STANDARD, Mode.CMP))
+@pytest.mark.parametrize('app_name', sorted(ALL_APPS))
+def test_backends_agree_nt_policies(app_name, mode, policy):
+    app = get_app(app_name)
+    program = _program(app_name)
+    overrides = _NT_POLICY_OVERRIDES[policy]
+    for detector_name in ('none',) + tuple(app.tools):
+        reference = _run(app, program, mode, detector_name, 'reference',
+                         max_instructions=_INSTR_CAP, **overrides)
+        fast = _run(app, program, mode, detector_name, 'fast',
+                    max_instructions=_INSTR_CAP, **overrides)
+        assert fast == reference, (app_name, mode, detector_name,
+                                   policy)
+
+
 @pytest.mark.parametrize('mode', Mode.ALL)
 def test_backends_agree_uncapped(mode):
     """Natural program exit (no truncation) on a small app."""

@@ -171,6 +171,98 @@ class TestBlockFusion:
         _run_both(program, mode='baseline', detector='assertions')
 
 
+def _nt_program(nt_body, trips=6):
+    """A taken-path loop around a never-taken branch whose non-taken
+    side is ``nt_body`` -- code that only ever executes inside the
+    NT-path sandbox."""
+    code = [Instr('li', 1, 0), Instr('li', 2, trips), Instr('li', 9, 0)]
+    loop = len(code)
+    branch = Instr('br', 9, 0)           # target patched below
+    code += [Instr('addi', 1, 1, 1),
+             branch,
+             Instr('slt', 8, 1, 2),
+             Instr('br', 8, loop),
+             Instr('halt')]
+    branch.b = len(code)                 # NT side starts here
+    code += list(nt_body)
+    return _prog(code)
+
+
+class TestNTBlocks:
+    """The sandboxed block table: NT-paths executed through fused
+    closures must be indistinguishable from reference stepping."""
+
+    def test_nt_paths_run_through_sandboxed_blocks(self):
+        # An ALU loop on the NT side: every path length-terminates.
+        body = [Instr('li', 4, 0)]
+        body += [Instr('add', 4, 4, 1)] * 6
+        program = _nt_program(body + [Instr('jmp', 8)])
+        engine = _engine(program, mode='standard',
+                         max_nt_path_length=50)
+        data = engine.run().to_dict()
+        assert data['nt_spawned'] > 0
+        assert engine.interp.nt_block_count > 0
+        assert not engine.interp.block_compile_failed
+
+    def test_mid_nt_fault_terminates_path_only(self):
+        # div-by-zero inside a fused NT block: the path counts a crash
+        # termination, the taken path continues, and both backends
+        # agree byte-for-byte (cycles of the completed prefix, pc
+        # parking, squash accounting).
+        body = [Instr('li', 4, 3), Instr('add', 4, 4, 4),
+                Instr('div', 5, 4, 9),   # r9 == 0
+                Instr('halt')]
+        data = _run_both(_nt_program(body), mode='standard',
+                         max_nt_path_length=64)
+        assert data['nt_spawned'] > 0
+        assert data['nt_terminations'].get('crash', 0) > 0
+        assert not data['crashed']       # the monitored run survives
+
+    def test_nt_budget_truncation_at_block_boundaries(self):
+        # An endless ALU loop on the NT side: every spawned path must
+        # stop at exactly the length budget, whether that lands on a
+        # block boundary or strictly inside a fused block.
+        body = [Instr('li', 4, 0)]
+        body += [Instr('add', 4, 4, 1)] * 7
+        body += [Instr('jmp', 9)]        # loop the adds forever
+        program = _nt_program(body)
+        for length in (5, 8, 9, 12, 30):
+            data = _run_both(program, mode='standard',
+                             max_nt_path_length=length)
+            terms = data['nt_terminations']
+            # The loop-exit branch also spawns zero-length paths that
+            # fall straight into halt (program_end); every other path
+            # must stop at exactly the budget.
+            assert set(terms) <= {'length', 'program_end'}
+            assert terms.get('length', 0) > 0
+            assert data['instret_nt'] == terms['length'] * length
+
+    def test_nt_journal_rollback_completeness(self):
+        # NT-side stores through the sandboxed blocks touch several
+        # globals; after every squash the journal must be empty and
+        # main memory byte-identical to the reference backend's.
+        body = [Instr('li', 4, 16), Instr('li', 6, 0),
+                Instr('ld', 5, 4, 0), Instr('addi', 5, 5, 7),
+                Instr('st', 5, 4, 0), Instr('addi', 4, 4, 1),
+                Instr('addi', 6, 6, 1), Instr('slt', 7, 6, 2),
+                Instr('br', 7, 10), Instr('jmp', 8)]
+        program = _nt_program(body)
+        engines = {}
+        for backend in BACKEND_CHOICES:
+            config = PathExpanderConfig(mode='standard',
+                                        backend=backend,
+                                        max_nt_path_length=200)
+            engine = PathExpanderEngine(program, config=config)
+            engine.run()
+            engines[backend] = engine
+        fast, reference = engines['fast'], engines['reference']
+        assert fast.result.to_dict() == reference.result.to_dict()
+        assert fast.result.nt_spawned > 0
+        assert fast.result.nt_store_count > 0
+        assert fast.memory.cells == reference.memory.cells
+        assert len(fast.memory.nt_journal) == 0
+
+
 class TestDispatchEdges:
     def test_predicated_instructions_skip(self):
         code = [Instr('li', 1, 1),
