@@ -10,6 +10,7 @@
     python -m repro experiment ID [--jobs N] [--cache DIR] [--json]
     python -m repro batch [IDS... | --all] [--jobs N] [--cache DIR]
     python -m repro report [PATH]            # regenerate EXPERIMENTS.md
+    python -m repro cache fsck DIR [--repair] [--json]
 
 ``--jobs N`` fans an experiment's simulations out over N worker
 processes; ``--cache DIR`` keeps an on-disk result store so re-runs
@@ -118,6 +119,19 @@ def _build_parser():
     report_cmd = sub.add_parser('report',
                                 help='regenerate EXPERIMENTS.md')
     report_cmd.add_argument('path', nargs='?', default='EXPERIMENTS.md')
+
+    cache_cmd = sub.add_parser('cache',
+                               help='manage an on-disk result cache')
+    cache_sub = cache_cmd.add_subparsers(dest='cache_command',
+                                         required=True)
+    fsck_cmd = cache_sub.add_parser(
+        'fsck', help='verify every cached record (checksums, shape)')
+    fsck_cmd.add_argument('dir', help='cache directory')
+    fsck_cmd.add_argument('--repair', action='store_true',
+                          help='delete corrupt records so the jobs '
+                               'rerun (results are reproducible)')
+    fsck_cmd.add_argument('--json', action='store_true',
+                          help='emit the report as JSON')
     return parser
 
 
@@ -321,6 +335,33 @@ def _cmd_report(args):
     return 0
 
 
+def _cmd_cache(args):
+    from repro.jobs import ResultStore
+    if not os.path.isdir(args.dir):
+        print('cache fsck: no such directory: %s' % args.dir,
+              file=sys.stderr)
+        return 2
+    report = ResultStore(args.dir).fsck(repair=args.repair)
+    if args.json:
+        payload = dict(report)
+        payload['corrupt'] = [{'key': key, 'reason': reason}
+                              for key, reason in report['corrupt']]
+        print(json.dumps(payload, indent=2))
+    else:
+        print('checked   %d record(s)' % report['checked'])
+        print('stale tmp %d removed' % report['stale_tmp'])
+        for key, reason in report['corrupt']:
+            print('corrupt   %s  (%s)' % (key, reason))
+        if report['repaired']:
+            print('repaired  %d record(s) removed'
+                  % len(report['repaired']))
+        if not report['corrupt']:
+            print('ok        no corruption found')
+    # Corrupt records that remain on disk are an error condition.
+    remaining = len(report['corrupt']) - len(report['repaired'])
+    return 1 if remaining else 0
+
+
 _COMMANDS = {
     'run': _cmd_run,
     'disasm': _cmd_disasm,
@@ -329,6 +370,7 @@ _COMMANDS = {
     'experiment': _cmd_experiment,
     'batch': _cmd_batch,
     'report': _cmd_report,
+    'cache': _cmd_cache,
 }
 
 

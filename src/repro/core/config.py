@@ -85,6 +85,11 @@ class PathExpanderConfig:
                  enable_cache_model=True,
                  max_instructions=50_000_000,
                  collect_nt_details=False,
+                 # watchdog run budgets (None = unbounded); see
+                 # repro.resilience.watchdog
+                 max_wall_seconds=None,
+                 max_cycles=None,
+                 watchdog_interval=10_000,
                  # hardware costs (Table 2)
                  spawn_overhead=20,
                  squash_overhead=10,
@@ -128,6 +133,9 @@ class PathExpanderConfig:
         self.enable_cache_model = enable_cache_model
         self.max_instructions = max_instructions
         self.collect_nt_details = collect_nt_details
+        self.max_wall_seconds = max_wall_seconds
+        self.max_cycles = max_cycles
+        self.watchdog_interval = watchdog_interval
         self.spawn_overhead = spawn_overhead
         self.squash_overhead = squash_overhead
         self.l1_hit_latency = l1_hit_latency

@@ -33,6 +33,8 @@ from repro.memory.allocator import HeapAllocator
 from repro.memory.cache import Cache
 from repro.memory.checkpoint import Checkpoint
 from repro.memory.main_memory import MainMemory
+from repro.resilience import events, get_injector
+from repro.resilience.watchdog import Watchdog
 
 _NT_VERSION = 1
 
@@ -113,6 +115,10 @@ class PathExpanderEngine:
         # Reused across every spawn: capturing into a preallocated
         # checkpoint keeps the spawn hot path allocation-free.
         self._checkpoint = Checkpoint()
+        injector = get_injector()
+        self._checkpoint_injector = injector \
+            if injector is not None \
+            and injector.plan.has_site('checkpoint.corrupt') else None
         # Wall-clock seconds spent stepping inside NT-paths (not
         # serialized -- benchmark instrumentation only).
         self.nt_wall_seconds = 0.0
@@ -129,8 +135,9 @@ class PathExpanderEngine:
         # same truncation point either way.
         interp.instret_limit = limit
         try:
-            interp.drive_taken(limit)
+            reason = self._drive(limit)
             result.truncated = True
+            result.truncation_reason = reason
         except ProgramExit as exit_:
             result.exit_code = exit_.code
         except SimFault as fault:
@@ -138,6 +145,38 @@ class PathExpanderEngine:
             result.crash_kind = fault.kind
         self._finalize()
         return result
+
+    def _drive(self, limit):
+        """Run the taken path to the instruction budget; returns the
+        truncation reason.
+
+        With a watchdog armed (run budgets in the config, or an
+        ambient job deadline installed by the pool) the drive is
+        chunked into ``check_interval``-instruction slices with a
+        deadman poll between slices; the dispatched instruction
+        sequence is identical either way, so watchdog-off and
+        watchdog-on runs that finish produce the same result.
+        """
+        interp = self.interp
+        watchdog = Watchdog.for_config(self.config)
+        if watchdog is None:
+            interp.drive_taken(limit)
+            return 'instructions'
+        core = self.core
+        interval = watchdog.check_interval
+        while True:
+            chunk = core.instret + interval
+            if chunk >= limit:
+                interp.drive_taken(limit)
+                return 'instructions'
+            interp.drive_taken(chunk)
+            reason = watchdog.poll(core)  # raises WatchdogTimeout
+            if reason is not None:
+                events.record('watchdog_truncated', reason=reason,
+                              program=self.program.name,
+                              instret=core.instret,
+                              cycles=core.cycles)
+                return reason
 
     def _finalize(self):
         result = self.result
@@ -262,6 +301,10 @@ class PathExpanderEngine:
 
         checkpoint = self._checkpoint
         checkpoint.capture(core)
+        if self._checkpoint_injector is not None and \
+                self._checkpoint_injector.poll('checkpoint.corrupt') \
+                is not None:
+            checkpoint.corrupt()
         self.allocator.begin_txn()
         self.memory.begin_journal()
         io_snapshot = self.io.snapshot() \

@@ -71,7 +71,10 @@ class RunResult:
         self.exit_code = None
         self.crashed = False
         self.crash_kind = None
-        self.truncated = False          # hit max_instructions
+        self.truncated = False          # stopped before program end
+        # why: 'instructions' (max_instructions), 'wall_clock' or
+        # 'cycles' (watchdog budgets); None when not truncated
+        self.truncation_reason = None
 
     # ------------------------------------------------------------------
 
@@ -113,7 +116,11 @@ class RunResult:
                       'journal_entries_total', 'forced_segment_commits',
                       'total_edges', 'baseline_covered',
                       'total_covered', 'output', 'exit_code', 'crashed',
-                      'crash_kind', 'truncated')
+                      'crash_kind', 'truncated', 'truncation_reason')
+
+    # Fields added after records of version N were written: tolerated
+    # as absent on rehydration so a warm cache survives an upgrade.
+    _SCALAR_DEFAULTS = {'truncation_reason': None}
 
     def to_dict(self):
         """A JSON-safe dict carrying *every* field of this result.
@@ -144,7 +151,10 @@ class RunResult:
         from repro.detectors.base import BugReport
         result = cls.__new__(cls)
         for name in cls._SCALAR_FIELDS:
-            setattr(result, name, data[name])
+            if name in data:
+                setattr(result, name, data[name])
+            else:
+                setattr(result, name, cls._SCALAR_DEFAULTS[name])
         result.int_output = list(data['int_output'])
         result.nt_terminations = dict(data['nt_terminations'])
         result.nt_details = [NTPathRecord.from_dict(record)

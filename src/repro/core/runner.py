@@ -2,16 +2,19 @@
 
 from __future__ import annotations
 
+import copy
 from functools import lru_cache
 
 from repro.core.config import Mode, PathExpanderConfig
 from repro.core.engine import PathExpanderEngine
+from repro.core.errors import EngineError, WatchdogTimeout
 from repro.core.software import apply_software_costs
 from repro.cpu.syscalls import IOContext
 from repro.detectors.assertions import AssertionDetector
 from repro.detectors.ccured import CCuredDetector
 from repro.detectors.iwatcher import IWatcherDetector
 from repro.minic.codegen import compile_minic
+from repro.resilience import ChaosDetector, events, get_injector
 
 DETECTOR_FACTORIES = {
     'none': lambda: None,
@@ -48,6 +51,50 @@ def run_program(program, detector=None, config=None, text_input='',
     if isinstance(detector, str):
         detector = make_detector(detector)
     config = config or PathExpanderConfig()
+    degradable = config.resolved_backend == 'fast'
+    # Detectors are stateful (shadow memory, reports); degradation
+    # re-executes from scratch, so it needs a pristine copy taken
+    # before the first attempt ever touches the original.
+    pristine = copy.deepcopy(detector) if degradable \
+        and detector is not None else None
+    try:
+        return _execute_run(program, detector, config, text_input,
+                            int_input, memory_words)
+    except (WatchdogTimeout, KeyboardInterrupt):
+        raise
+    except Exception as exc:
+        if not degradable:
+            if isinstance(exc, EngineError):
+                raise
+            raise EngineError('engine failed on %s backend: %r'
+                              % (config.resolved_backend, exc),
+                              program=program.name) from exc
+        # Graceful degradation: an unexpected internal failure on the
+        # fast backend transparently re-executes on the reference
+        # backend.  Both backends are result-identical by invariant,
+        # so callers observe nothing but the event record.
+        events.record('degraded_to_reference', program=program.name,
+                      error=repr(exc))
+        ref_config = config.replace(backend='reference')
+        try:
+            return _execute_run(program, pristine, ref_config,
+                                text_input, int_input, memory_words)
+        except (WatchdogTimeout, KeyboardInterrupt):
+            raise
+        except Exception as ref_exc:
+            raise EngineError(
+                'engine failed on both backends (fast: %r; '
+                'reference: %r)' % (exc, ref_exc),
+                program=program.name) from ref_exc
+
+
+def _execute_run(program, detector, config, text_input, int_input,
+                 memory_words):
+    """One engine execution (the unit graceful degradation retries)."""
+    injector = get_injector()
+    if detector is not None and injector is not None \
+            and injector.plan.has_site('detector.hook'):
+        detector = ChaosDetector(detector, injector)
     io = IOContext(text_input=text_input, int_input=int_input)
     engine = PathExpanderEngine(program, detector=detector, config=config,
                                 io=io, memory_words=memory_words)

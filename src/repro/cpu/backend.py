@@ -48,11 +48,14 @@ def make_interpreter(backend, program, memory, allocator, core, io,
     try:
         return cls(program, memory, allocator, core, io, costs,
                    cache=cache, detector=detector, on_branch=on_branch)
-    except Exception:
+    except Exception as exc:
         if cls is Interpreter:
             raise
         # Automatic fallback: the fast backend is an optimisation, not
         # a requirement.
+        from repro.resilience import events
+        events.record('backend_construction_fallback',
+                      program=program.name, error=repr(exc))
         return Interpreter(program, memory, allocator, core, io, costs,
                            cache=cache, detector=detector,
                            on_branch=on_branch)

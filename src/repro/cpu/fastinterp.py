@@ -51,6 +51,7 @@ from repro.cpu.timing import PREDICATED_SKIP_COST
 from repro.isa.cfg import BLOCK_OPS, basic_runs
 from repro.isa.instructions import Reg
 from repro.memory.main_memory import NULL_GUARD, MainMemory
+from repro.resilience import site_hook
 
 _SHIFT_MASK = 63
 _SP = Reg.SP
@@ -994,7 +995,8 @@ class FastInterpreter(Interpreter):
     """Drop-in replacement for :class:`Interpreter` (same contract)."""
 
     __slots__ = ('_n', '_ops', '_fast', '_fast_nt', '_runs', '_ref_thunk',
-                 'block_compile_failed', 'block_count', 'nt_block_count')
+                 'block_compile_failed', 'block_count', 'nt_block_count',
+                 '_fault_hook')
 
     def __init__(self, program, memory, allocator, core, io, costs,
                  cache=None, detector=None, on_branch=None):
@@ -1014,6 +1016,10 @@ class FastInterpreter(Interpreter):
         self.block_compile_failed = False
         self.block_count = 0
         self.nt_block_count = 0
+        # Chaos-harness hook ('fastinterp.block'): None unless a fault
+        # plan arms the site, so steady-state dispatch never pays for it
+        # (see repro.resilience.faults.site_hook).
+        self._fault_hook = site_hook('fastinterp.block')
 
     # ------------------------------------------------------------------
     # dispatch
@@ -1038,6 +1044,8 @@ class FastInterpreter(Interpreter):
         the journal, the volatile-overflow exit and the NT instret
         budget (installed by ``enter_nt``).
         """
+        if self._fault_hook is not None:
+            self._fault_hook()
         if self.in_nt_path:
             table = self._fast_nt
             if table is None:
@@ -1068,6 +1076,21 @@ class FastInterpreter(Interpreter):
             table = self._build_fast_table()
         n = self._n
         ref_step = Interpreter.step
+        hook = self._fault_hook
+        if hook is not None:
+            # Chaos variant: identical dispatch, plus a per-iteration
+            # injection poll.  Kept out of the steady-state loop below.
+            while core.instret < limit:
+                hook()
+                pc = core.pc
+                if 0 <= pc < n:
+                    fn = table[pc]
+                    if fn is None:
+                        fn = self._decode_into(table, pc)
+                    fn()
+                else:
+                    ref_step(self)
+            return
         while core.instret < limit:
             pc = core.pc
             if 0 <= pc < n:

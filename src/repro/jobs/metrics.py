@@ -17,7 +17,8 @@ import time
 
 COUNTER_NAMES = ('jobs_submitted', 'jobs_run', 'cache_hits',
                  'cache_misses', 'retries', 'timeouts', 'failures',
-                 'corrupt_evictions', 'serial_fallbacks')
+                 'corrupt_evictions', 'serial_fallbacks',
+                 'quarantined', 'hung_worker_kills')
 
 
 class RunMetrics:

@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+from repro.core.errors import CheckpointCorruption
+
+_MIX = 0x9E3779B97F4A7C15  # golden-ratio odd constant (order-sensitive mix)
+_MASK = (1 << 64) - 1
+
 
 class Checkpoint:
     """Everything needed to resume the taken path after a squash.
@@ -15,9 +20,15 @@ class Checkpoint:
     A checkpoint is *reusable*: the engine allocates one and calls
     :meth:`capture` per spawn, so the spawn hot path allocates nothing
     beyond the register-list copy.
+
+    Every capture also computes an integrity checksum over the saved
+    state; :meth:`restore` verifies it and raises
+    :class:`CheckpointCorruption` on mismatch rather than silently
+    resuming the taken path from a scribbled context.
     """
 
-    __slots__ = ('regs', 'pc', 'pred', 'call_depth', 'lcg_state')
+    __slots__ = ('regs', 'pc', 'pred', 'call_depth', 'lcg_state',
+                 'checksum')
 
     def __init__(self):
         self.regs = []
@@ -25,6 +36,14 @@ class Checkpoint:
         self.pred = False
         self.call_depth = 0
         self.lcg_state = 0
+        self.checksum = 0
+
+    def _compute_checksum(self):
+        acc = (self.pc * _MIX + self.call_depth) & _MASK
+        acc = (acc * _MIX + self.lcg_state + self.pred) & _MASK
+        for value in self.regs:
+            acc = (acc * _MIX + value) & _MASK
+        return acc
 
     def capture(self, core):
         self.regs[:] = core.regs
@@ -32,10 +51,23 @@ class Checkpoint:
         self.pred = core.pred
         self.call_depth = core.call_depth
         self.lcg_state = core.lcg_state
+        self.checksum = self._compute_checksum()
 
     def restore(self, core):
+        if self._compute_checksum() != self.checksum:
+            raise CheckpointCorruption(
+                'checkpoint integrity check failed at squash',
+                pc=self.pc)
         core.regs[:] = self.regs
         core.pc = self.pc
         core.pred = self.pred
         core.call_depth = self.call_depth
         core.lcg_state = self.lcg_state
+
+    def corrupt(self):
+        """Scribble the saved context without refreshing the checksum
+        (fault-injection helper for the ``checkpoint.corrupt`` site)."""
+        if self.regs:
+            self.regs[0] ^= 0x5A5A5A5A
+        else:
+            self.pc ^= 0x5A5A5A5A

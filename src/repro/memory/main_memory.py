@@ -15,6 +15,7 @@ survive the rollback.
 
 from __future__ import annotations
 
+from repro.core.errors import JournalError
 from repro.cpu.exceptions import FaultKind, SimFault
 
 NULL_GUARD = 16
@@ -59,7 +60,7 @@ class MainMemory:
 
     def begin_journal(self):
         if self._journal is not None:
-            raise RuntimeError('journal already active')
+            raise JournalError('journal already active')
         journal = self.nt_journal
         journal.clear()
         self._journal = journal
@@ -67,7 +68,7 @@ class MainMemory:
     def rollback(self):
         journal = self._journal
         if journal is None:
-            raise RuntimeError('no active journal')
+            raise JournalError('no active journal')
         cells = self.cells
         for addr, old in journal.items():
             cells[addr] = old
@@ -79,7 +80,7 @@ class MainMemory:
     def commit_journal(self):
         journal = self._journal
         if journal is None:
-            raise RuntimeError('no active journal')
+            raise JournalError('no active journal')
         self._journal = None
         count = len(journal)
         journal.clear()
